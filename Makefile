@@ -1,0 +1,30 @@
+# Convenience targets for the SIMTY reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench paper validate examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+paper:
+	$(PYTHON) -m repro paper
+
+validate:
+	$(PYTHON) -m repro validate
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Every paper-artifact bench times the full experiment with pytest-benchmark
+and then prints the regenerated rows (uncaptured, so they appear in the
+bench log) next to the paper's published values for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so bench tables reach the terminal."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,38 @@
+"""A1 — ablation: the grace fraction beta.
+
+The paper fixes beta = 0.96 "to demonstrate that perceptible and
+imperceptible alarms can be treated extremely unequally".  This sweep shows
+the energy/delay trade-off as beta grows from Android's default window
+fraction toward 1: wakeups fall monotonically while imperceptible delay
+rises, with diminishing returns past ~0.9.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import beta_sweep
+
+BETAS = (0.75, 0.85, 0.90, 0.96, 0.99)
+
+
+def test_bench_beta_sweep(benchmark, emit):
+    rows = benchmark.pedantic(
+        beta_sweep, args=("light", BETAS), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation A1 — grace fraction sweep (light workload, SIMTY)\n"
+        + format_table(
+            ("beta", "wakeups", "total savings", "imperceptible delay"),
+            [
+                (
+                    f"{row['beta']:.2f}",
+                    row["wakeups"],
+                    f"{row['total_savings']:.1%}",
+                    f"{row['imperceptible_delay']:.3f}",
+                )
+                for row in rows
+            ],
+        )
+    )
+    wakeups = [row["wakeups"] for row in rows]
+    assert wakeups[-1] <= wakeups[0]
+    delays = [row["imperceptible_delay"] for row in rows]
+    assert delays[-1] >= delays[0]

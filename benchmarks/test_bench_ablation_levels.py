@@ -1,0 +1,37 @@
+"""A2 — ablation: hardware-similarity granularity.
+
+Sec. 3.1.1 sketches two- and four-level alternatives to the default
+three-level classification.  This bench compares all three on the heavy
+workload, where hardware diversity makes the distinction matter.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import classifier_sweep
+
+
+def test_bench_classifier_sweep(benchmark, emit):
+    rows = benchmark.pedantic(
+        classifier_sweep, args=("heavy",), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation A2 — hardware-similarity granularity (heavy workload)\n"
+        + format_table(
+            ("classifier", "wakeups", "total savings", "imperceptible delay"),
+            [
+                (
+                    row["classifier"],
+                    row["wakeups"],
+                    f"{row['total_savings']:.1%}",
+                    f"{row['imperceptible_delay']:.3f}",
+                )
+                for row in rows
+            ],
+        )
+    )
+    assert {row["classifier"] for row in rows} == {
+        "two-level",
+        "three-level",
+        "four-level",
+    }
+    for row in rows:
+        assert row["total_savings"] > 0.10

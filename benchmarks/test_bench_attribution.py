@@ -1,0 +1,48 @@
+"""B1 — per-app energy blame under NATIVE vs SIMTY.
+
+Splits each run's energy across the apps that caused it (battery-stats
+style; `repro.power.attribution`).  The chattiest app (Facebook, 60 s
+dynamic keep-alive) dominates under both policies, but SIMTY cuts every
+app's share by amortizing wakes and activations across batches.
+"""
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.report import format_table
+from repro.power.attribution import attribute_energy
+from repro.power.profiles import NEXUS5
+
+
+def compute():
+    shares = {}
+    for policy in ("native", "simty"):
+        result = run_experiment("light", policy)
+        shares[policy] = attribute_energy(result.trace, NEXUS5)
+    return shares
+
+
+def test_bench_attribution(benchmark, emit):
+    shares = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ranked = sorted(
+        shares["native"].values(), key=lambda share: -share.total_mj
+    )[:8]
+    rows = []
+    for share in ranked:
+        simty_share = shares["simty"].get(share.app)
+        simty_mj = simty_share.total_mj if simty_share else 0.0
+        rows.append(
+            (
+                share.app,
+                f"{share.total_mj / 1000.0:.1f} J",
+                f"{simty_mj / 1000.0:.1f} J",
+                f"-{1 - simty_mj / share.total_mj:.0%}"
+                if share.total_mj
+                else "-",
+            )
+        )
+    emit(
+        "B1 — per-app standby energy blame (light workload)\n"
+        + format_table(("app", "NATIVE", "SIMTY", "saved"), rows)
+    )
+    facebook_native = shares["native"]["Facebook"].total_mj
+    facebook_simty = shares["simty"]["Facebook"].total_mj
+    assert facebook_simty < facebook_native

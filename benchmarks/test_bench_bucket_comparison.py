@@ -1,0 +1,42 @@
+"""A4 — SIMTY vs forced fixed-interval alignment.
+
+The paper's introduction cites an "immediate remedy" [Lin et al.,
+ISLPED'15] that forcibly aligns all background activity to a fixed
+interval.  This bench quantifies why similarity-based alignment is the
+better deal: BUCKET needs a coarse interval to beat SIMTY's energy, and at
+that point it delivers perceptible alarms tens of seconds late, whereas
+SIMTY's worst window miss is the RTC latency.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import bucket_sweep
+
+
+def test_bench_bucket_comparison(benchmark, emit):
+    rows = benchmark.pedantic(
+        bucket_sweep, args=("heavy",), rounds=1, iterations=1
+    )
+    emit(
+        "A4 — SIMTY vs fixed-interval (BUCKET) alignment, heavy workload\n"
+        + format_table(
+            ("policy", "wakeups", "total savings", "worst window miss"),
+            [
+                (
+                    row["policy"],
+                    row["wakeups"],
+                    f"{row['total_savings']:.1%}",
+                    f"{row['worst_window_miss_s']:.1f} s",
+                )
+                for row in rows
+            ],
+        )
+    )
+    simty = rows[0]
+    assert simty["policy"] == "simty"
+    # SIMTY never misses a window by more than the RTC latency...
+    assert simty["worst_window_miss_s"] <= 0.5
+    # ...while every bucket coarse enough to out-save SIMTY misses windows
+    # by tens of seconds.
+    for row in rows[1:]:
+        if row["total_savings"] > simty["total_savings"]:
+            assert row["worst_window_miss_s"] > 10.0

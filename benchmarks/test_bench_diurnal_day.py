@@ -1,0 +1,45 @@
+"""D1 — a full simulated day with interactive sessions.
+
+Extends the paper's 3-hour standby experiment to 24 hours interleaved with
+seeded screen-on sessions (phones are in standby ~89 % of the time per the
+usage study the paper cites).  SIMTY's advantage must survive the presence
+of interactive wakes, which deliver non-wakeup alarms and absorb some
+batches for free under both policies.
+"""
+
+from repro.analysis.experiments import run_workload
+from repro.analysis.report import format_table
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.workloads.diurnal import DiurnalConfig, build_diurnal
+
+
+def run_day():
+    config = DiurnalConfig()
+    rows = []
+    results = {}
+    for name, policy in (("NATIVE", NativePolicy()), ("SIMTY", SimtyPolicy())):
+        workload, events = build_diurnal(config, heavy=True)
+        result = run_workload(workload, policy, external_events=tuple(events))
+        results[name] = result
+        rows.append(
+            (
+                name,
+                result.trace.wake_count(),
+                f"{result.energy.total_mj / 1000:.0f} J",
+                f"{result.energy.total_mj / 1000 / 24:.1f} J/h",
+            )
+        )
+    return rows, results
+
+
+def test_bench_diurnal_day(benchmark, emit):
+    rows, results = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    emit(
+        "D1 — 24 h heavy workload with 40 interactive sessions\n"
+        + format_table(("policy", "wakeups", "daily energy", "rate"), rows)
+    )
+    native, simty = results["NATIVE"], results["SIMTY"]
+    assert simty.trace.wake_count() < 0.5 * native.trace.wake_count()
+    savings = 1 - simty.energy.total_mj / native.energy.total_mj
+    assert savings > 0.12

@@ -1,0 +1,18 @@
+"""Engine micro-benchmark: full-run simulation throughput.
+
+Times one complete 3-hour heavy-workload run (build + simulate + account),
+the unit of work every experiment and sweep is built from.  This is the
+number to watch when optimizing the engine.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_bench_full_heavy_run(benchmark):
+    result = benchmark(run_experiment, "heavy", "simty")
+    assert result.trace.delivery_count() > 500
+
+
+def test_bench_full_light_native_run(benchmark):
+    result = benchmark(run_experiment, "light", "native")
+    assert result.trace.delivery_count() > 500

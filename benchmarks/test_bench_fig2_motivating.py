@@ -1,0 +1,23 @@
+"""E1 — Figure 2: the motivating example.
+
+Paper: NATIVE consumes 7,520 mJ for the three-alarm snapshot; the
+similarity-based alignment needs only 4,050 mJ.  Our calibrated profile
+reproduces both numbers exactly (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig2_motivating
+from repro.analysis.report import render_fig2
+
+PAPER = {"NATIVE": 7_520.0, "SIMTY": 4_050.0}
+
+
+def test_bench_fig2(benchmark, emit):
+    results = benchmark(fig2_motivating)
+    emit(
+        render_fig2(results)
+        + "\n(paper: NATIVE 7,520 mJ; SIMTY 4,050 mJ)"
+    )
+    for policy, energy in PAPER.items():
+        assert results[policy] == pytest.approx(energy)

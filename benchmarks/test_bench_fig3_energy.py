@@ -1,0 +1,28 @@
+"""E2 — Figure 3: energy consumption under NATIVE and SIMTY.
+
+Paper (3 h connected standby, LG Nexus 5):
+  * SIMTY saves 20 % (light) and 25 % (heavy) of total standby energy;
+  * awake-energy savings exceed 33 % of NATIVE's requirement;
+  * the sleep floor is a significant share and is untouched by alignment.
+"""
+
+from repro.analysis.experiments import run_paper_matrix
+from repro.analysis.figures import fig3_energy, standby_summary
+from repro.analysis.report import render_fig3, render_summary
+
+
+def test_bench_fig3(benchmark, emit):
+    matrix = benchmark.pedantic(run_paper_matrix, rounds=1, iterations=1)
+    emit(
+        render_fig3(matrix)
+        + "\n(paper: SIMTY saves 20% light / 25% heavy of total, >33% of awake)\n\n"
+        + render_summary(matrix)
+    )
+    rows = {(r["workload"], r["policy"]): r for r in fig3_energy(matrix)}
+    for workload in ("light", "heavy"):
+        native = rows[(workload, "NATIVE")]
+        simty = rows[(workload, "SIMTY")]
+        assert simty["total_j"] < native["total_j"]
+        assert simty["awake_j"] < 0.67 * native["awake_j"]
+    for row in standby_summary(matrix):
+        assert 0.13 < row["total_savings"] < 0.32

@@ -1,0 +1,29 @@
+"""E3 — Figure 4: normalized delivery delay.
+
+Paper:
+  * perceptible alarms: zero delay under both policies;
+  * imperceptible alarms under SIMTY: 17.9 % (light) / 13.9 % (heavy) of
+    the repeating interval, with heavy < light;
+  * NATIVE shows a 0.4-0.6 % artifact from the RTC wake latency.
+"""
+
+from repro.analysis.experiments import run_paper_matrix
+from repro.analysis.figures import fig4_delay
+from repro.analysis.report import render_fig4
+
+
+def test_bench_fig4(benchmark, emit):
+    matrix = benchmark.pedantic(run_paper_matrix, rounds=1, iterations=1)
+    emit(
+        render_fig4(matrix)
+        + "\n(paper: SIMTY imperceptible 0.179 light / 0.139 heavy; "
+        "NATIVE 0.004-0.006)"
+    )
+    rows = {(r["workload"], r["policy"]): r for r in fig4_delay(matrix)}
+    for workload in ("light", "heavy"):
+        assert rows[(workload, "NATIVE")]["perceptible"] < 0.005
+        assert rows[(workload, "SIMTY")]["perceptible"] < 0.005
+        assert 0.0 < rows[(workload, "NATIVE")]["imperceptible"] < 0.01
+    light = rows[("light", "SIMTY")]["imperceptible"]
+    heavy = rows[("heavy", "SIMTY")]["imperceptible"]
+    assert 0.08 < heavy < light < 0.35

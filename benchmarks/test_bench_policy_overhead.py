@@ -1,0 +1,65 @@
+"""P1 — policy computation overhead.
+
+The paper argues realignment costs only "slight computation overhead"
+(Sec. 2.1).  These micro-benchmarks time a single insert against queues of
+growing size for each policy — the operation the alarm manager performs on
+every registration and reinsertion.
+"""
+
+import pytest
+
+from repro.core.alarm import Alarm, RepeatKind
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import WIFI_ONLY
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+
+
+def make_alarm(nominal, window, grace, label="bench"):
+    return Alarm(
+        app="bench",
+        label=label,
+        nominal_time=nominal,
+        repeat_interval=60_000,
+        window_length=window,
+        grace_length=grace,
+        repeat_kind=RepeatKind.STATIC,
+        hardware=WIFI_ONLY,
+        hardware_known=True,
+    )
+
+
+def build_queue(policy, size, seed_step=1_700):
+    queue = policy.make_queue()
+    for index in range(size):
+        policy.insert(
+            queue,
+            make_alarm(
+                nominal=1_000 + index * seed_step,
+                window=(index % 4) * 400,
+                grace=30_000,
+                label=f"seed{index}",
+            ),
+            0,
+        )
+    return queue
+
+
+@pytest.mark.parametrize("size", [10, 100, 500])
+@pytest.mark.parametrize(
+    "policy_factory", [NativePolicy, SimtyPolicy, ExactPolicy],
+    ids=["native", "simty", "exact"],
+)
+def test_bench_insert_cost(benchmark, policy_factory, size):
+    policy = policy_factory()
+    queue = build_queue(policy, size)
+    probe = make_alarm(nominal=500_000, window=800, grace=30_000, label="probe")
+
+    def insert_and_remove():
+        # Remove the probe again so the queue size stays fixed across
+        # benchmark rounds; removal is part of every re-registration anyway.
+        policy.insert(queue, probe, 0)
+        queue.remove_alarm(probe)
+
+    benchmark(insert_and_remove)
+    assert queue.alarm_count() == size

@@ -1,0 +1,38 @@
+"""S1 — scalability: savings and simulation throughput vs app count.
+
+The paper's motivation: "increasing the number of resident apps will
+accelerate battery depletion."  This bench sweeps synthetic workloads from
+10 to 100 apps and shows SIMTY's wakeup reduction persists at every scale;
+it also serves as an engine-throughput benchmark.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import scale_sweep
+
+APP_COUNTS = (10, 25, 50, 100)
+
+
+def test_bench_scale_sweep(benchmark, emit):
+    rows = benchmark.pedantic(
+        scale_sweep, args=(APP_COUNTS,), rounds=1, iterations=1
+    )
+    emit(
+        "S1 — synthetic scalability sweep (3 h horizon)\n"
+        + format_table(
+            ("apps", "NATIVE wakeups", "SIMTY wakeups", "total savings"),
+            [
+                (
+                    row["apps"],
+                    row["native_wakeups"],
+                    row["simty_wakeups"],
+                    f"{row['total_savings']:.1%}",
+                )
+                for row in rows
+            ],
+        )
+    )
+    for row in rows:
+        assert row["simty_wakeups"] < row["native_wakeups"]
+    # Wakeup counts must grow with offered load under NATIVE.
+    native = [row["native_wakeups"] for row in rows]
+    assert native == sorted(native)

@@ -1,0 +1,29 @@
+"""A5 — calibration sensitivity.
+
+DESIGN.md §5 calibrates several power constants the paper does not report
+(sleep floor, awake base power, non-WPS activation energies).  This bench
+perturbs each group by +/-25 % and re-derives SIMTY's total savings: the
+headline conclusion (double-digit savings) must not hinge on any single
+constant.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sensitivity_sweep
+
+
+def test_bench_sensitivity(benchmark, emit):
+    rows = benchmark.pedantic(
+        sensitivity_sweep, args=("light",), rounds=1, iterations=1
+    )
+    emit(
+        "A5 — power-model sensitivity (light workload, SIMTY vs NATIVE)\n"
+        + format_table(
+            ("constant group", "scale", "total savings"),
+            [
+                (row["group"], f"x{row['scale']:.2f}", f"{row['total_savings']:.1%}")
+                for row in rows
+            ],
+        )
+    )
+    for row in rows:
+        assert row["total_savings"] > 0.10, row

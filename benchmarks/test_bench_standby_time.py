@@ -1,0 +1,32 @@
+"""E5 — Sec. 4.2 headline: standby-time extension.
+
+Paper: "the saved energy is sufficient for SIMTY to prolong the
+smartphone's standby time by one-fourth to one-third."
+"""
+
+from repro.analysis.experiments import run_paper_matrix
+from repro.analysis.report import format_table
+from repro.metrics.standby import standby_estimate
+from repro.power.profiles import NEXUS5
+
+
+def test_bench_standby_extension(benchmark, emit):
+    matrix = benchmark.pedantic(run_paper_matrix, rounds=1, iterations=1)
+    rows = []
+    for workload, pair in matrix.items():
+        native = standby_estimate(pair.baseline.energy, NEXUS5)
+        simty = standby_estimate(pair.improved.energy, NEXUS5)
+        extension = pair.comparison.standby_extension
+        rows.append(
+            (
+                workload,
+                f"{native.standby_hours:.1f} h",
+                f"{simty.standby_hours:.1f} h",
+                f"+{extension:.1%}",
+            )
+        )
+        assert 0.15 < extension < 0.45
+    emit(
+        "Standby time on a 2300 mAh battery (paper: +1/4 to +1/3)\n"
+        + format_table(("workload", "NATIVE", "SIMTY", "extension"), rows)
+    )

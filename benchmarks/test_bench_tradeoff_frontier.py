@@ -1,0 +1,44 @@
+"""T1 — the energy/delay trade-off frontier.
+
+Sweeps the full implemented design space (EXACT, NATIVE, SIMTY x beta,
+BUCKET x interval) on the light workload and prints each point's energy,
+imperceptible delay and worst perceptible window miss.  The thesis in one
+table: among policies that never violate perceptible windows (miss <= RTC
+latency), SIMTY dominates.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.tradeoff import pareto_front, tradeoff_frontier
+
+
+def test_bench_tradeoff_frontier(benchmark, emit):
+    points = benchmark.pedantic(tradeoff_frontier, rounds=1, iterations=1)
+    front = {point.label for point in pareto_front(points)}
+    rows = [
+        (
+            point.label,
+            f"{point.total_energy_j:.0f} J",
+            f"{point.imperceptible_delay:.3f}",
+            f"{point.worst_window_miss_s:.1f} s",
+            point.wakeups,
+            "yes" if point.label in front else "",
+        )
+        for point in sorted(points, key=lambda p: p.total_energy_j)
+    ]
+    emit(
+        "T1 — energy/delay trade-off (light workload)\n"
+        + format_table(
+            ("policy", "energy", "imp. delay", "worst window miss",
+             "wakeups", "on Pareto front"),
+            rows,
+        )
+    )
+    by_label = {point.label: point for point in points}
+    # Among window-respecting policies (miss bounded by the RTC latency),
+    # every SIMTY point costs less energy than NATIVE.
+    for point in points:
+        if point.label.startswith("SIMTY"):
+            assert point.worst_window_miss_s <= 0.5
+            assert point.total_energy_j < by_label["NATIVE"].total_energy_j
+    # At least one SIMTY point sits on the Pareto front.
+    assert any(label.startswith("SIMTY") for label in front)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Battery planner: how long will my phone last overnight?
+
+A practical scenario from the paper's introduction: a user installs a
+growing set of resident messaging apps and wonders why the phone drains
+overnight.  This example sweeps the number of installed Table 3 apps,
+projects the standby hours on a Nexus 5 battery under NATIVE and SIMTY,
+and shows the crossover the paper motivates: the more resident apps, the
+bigger SIMTY's advantage.
+
+Run:  python examples/battery_planner.py
+"""
+
+from repro import NEXUS5, NativePolicy, SimtyPolicy
+from repro.analysis.experiments import run_workload
+from repro.analysis.report import format_table
+from repro.core.units import THREE_HOURS_MS
+from repro.metrics.standby import standby_estimate
+from repro.workloads.apps import heavy_apps
+from repro.workloads.scenarios import (
+    Registration,
+    ScenarioConfig,
+    Workload,
+    background_registrations,
+    major_registrations,
+)
+
+
+def workload_with(app_count: int) -> Workload:
+    """The first ``app_count`` Table 3 apps plus standard background load."""
+    config = ScenarioConfig()
+    registrations = major_registrations(heavy_apps()[:app_count], config)
+    registrations.extend(background_registrations(config))
+    registrations.sort(key=lambda registration: registration.time)
+    return Workload(
+        name=f"first-{app_count}-apps",
+        registrations=registrations,
+        horizon=THREE_HOURS_MS,
+    )
+
+
+def main():
+    rows = []
+    for app_count in (4, 8, 12, 18):
+        native = run_workload(workload_with(app_count), NativePolicy())
+        simty = run_workload(workload_with(app_count), SimtyPolicy())
+        native_hours = standby_estimate(native.energy, NEXUS5).standby_hours
+        simty_hours = standby_estimate(simty.energy, NEXUS5).standby_hours
+        rows.append(
+            (
+                app_count,
+                f"{native_hours:.1f} h",
+                f"{simty_hours:.1f} h",
+                f"+{simty_hours / native_hours - 1:.1%}",
+            )
+        )
+    print("Projected connected-standby lifetime, 2300 mAh battery\n")
+    print(
+        format_table(
+            ("installed apps", "NATIVE", "SIMTY", "gained"), rows
+        )
+    )
+    print(
+        "\nEvery additional resident app shortens standby life; similarity-"
+        "based\nalignment claws a growing share of it back."
+    )
+
+
+if __name__ == "__main__":
+    main()

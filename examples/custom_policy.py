@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in a custom alignment policy.
+
+Implements GREEDY-HW, a deliberately aggressive variant that aligns on
+hardware similarity whenever the grace intervals overlap — ignoring the
+perceptibility rule that SIMTY's search phase enforces — and evaluates it
+against NATIVE and SIMTY on the heavy workload.  The point of the exercise:
+GREEDY-HW saves slightly more energy but breaks the user-experience
+guarantee (perceptible alarms get postponed beyond their windows), which is
+exactly the trade-off the paper's search phase exists to prevent.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import NEXUS5, run_workload
+from repro.analysis.report import format_table
+from repro.core.policy import AlignmentPolicy
+from repro.core.similarity import ThreeLevelHardware, TimeSimilarity, classify_time, preference
+from repro.metrics.delay import max_window_violation_ms
+from repro.workloads.scenarios import build_heavy
+
+
+class GreedyHardwarePolicy(AlignmentPolicy):
+    """Align on hardware whenever graces overlap; ignore perceptibility."""
+
+    name = "GREEDY-HW"
+    grace_mode = True
+
+    def __init__(self):
+        self.classifier = ThreeLevelHardware()
+
+    def insert(self, queue, alarm, now):
+        queue.remove_alarm(alarm)
+        best, best_score = None, float("inf")
+        for entry in queue.entries():
+            time_sim = classify_time(
+                alarm.window_interval(),
+                alarm.grace_interval(),
+                entry.window,
+                entry.grace,
+            )
+            if time_sim is TimeSimilarity.LOW:
+                continue
+            score = preference(
+                self.classifier.rank(alarm.hardware, entry.hardware), time_sim
+            )
+            if score < best_score:
+                best, best_score = entry, score
+        if best is not None:
+            return self._place_in_entry(queue, best, alarm)
+        return self._place_in_new_entry(queue, alarm)
+
+
+def evaluate(policy_name, policy):
+    result = run_workload(build_heavy(), policy, model=NEXUS5)
+    violation_s = max_window_violation_ms(
+        result.trace, labels=result.major_labels
+    ) / 1000.0
+    return (
+        policy_name,
+        result.wakeups.cpu.delivered,
+        f"{result.energy.total_mj / 1000:.0f} J",
+        f"{result.delays.perceptible.mean:.3f}",
+        f"{violation_s:.1f} s",
+    )
+
+
+def main():
+    from repro import NativePolicy, SimtyPolicy
+
+    rows = [
+        evaluate("NATIVE", NativePolicy()),
+        evaluate("SIMTY", SimtyPolicy()),
+        evaluate("GREEDY-HW", GreedyHardwarePolicy()),
+    ]
+    print("Heavy workload, 3 h — the cost of ignoring perceptibility\n")
+    print(
+        format_table(
+            (
+                "policy",
+                "wakeups",
+                "energy",
+                "perceptible delay",
+                "worst window miss",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nGREEDY-HW wakes the phone least but delivers perceptible alarms "
+        "late —\nSIMTY's search phase is what keeps the delay column at zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""What is keeping my phone awake? — no-sleep-bug detection.
+
+The paper's related work surveys no-sleep energy bugs (apps that acquire a
+wakelock and forget to release it) and runtime detectors like WakeScope.
+This example injects such a bug into one app of the light workload, shows
+the battery damage, and runs the library's detector to name the culprit.
+
+Run:  python examples/no_sleep_detective.py
+"""
+
+from repro import NEXUS5, SimtyPolicy, run_workload
+from repro.analysis.report import format_table
+from repro.metrics.anomaly import detect_no_sleep_suspects
+from repro.metrics.standby import standby_estimate
+from repro.workloads.faults import inject_no_sleep_bug
+from repro.workloads.scenarios import build_light
+
+
+def main():
+    clean = run_workload(build_light(), SimtyPolicy())
+
+    # Viber's sync task (0.8 s of work) now holds its Wi-Fi wakelock for a
+    # full minute after every delivery.
+    buggy_workload = inject_no_sleep_bug(build_light(), "Viber", 60_000)
+    buggy = run_workload(buggy_workload, SimtyPolicy())
+
+    clean_hours = standby_estimate(clean.energy, NEXUS5).standby_hours
+    buggy_hours = standby_estimate(buggy.energy, NEXUS5).standby_hours
+    print("Impact of one leaky wakelock (SIMTY, light workload):\n")
+    print(
+        format_table(
+            ("run", "total energy", "projected standby"),
+            [
+                ("clean", f"{clean.energy.total_mj / 1000:.0f} J", f"{clean_hours:.1f} h"),
+                ("buggy", f"{buggy.energy.total_mj / 1000:.0f} J", f"{buggy_hours:.1f} h"),
+            ],
+        )
+    )
+
+    print("\nRunning the detector on the buggy trace...\n")
+    suspects = detect_no_sleep_suspects(buggy.trace, model=NEXUS5)
+    rows = [
+        (
+            suspect.profile.app,
+            suspect.profile.deliveries,
+            f"{suspect.profile.hold_ratio:.0f}x",
+            f"{suspect.leaked_hold_ms / 1000:.0f} s",
+            f"{(suspect.leaked_energy_mj or 0) / 1000:.0f} J",
+        )
+        for suspect in suspects
+    ]
+    print(
+        format_table(
+            ("app", "deliveries", "hold/busy", "leaked hold", "leaked energy"),
+            rows,
+        )
+    )
+    assert suspects and suspects[0].profile.app == "Viber"
+    print("\nVerdict: Viber is keeping the phone awake.")
+
+
+if __name__ == "__main__":
+    main()

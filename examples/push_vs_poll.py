@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Push vs poll: does moving messengers to GCM obviate alignment?
+
+The paper notes (footnote 1) that AlarmManager wakeups and GCM push
+messages are orthogonal.  This example converts the chattiest pollers of
+the light workload to push channels at the same mean message rate and
+re-runs both policies.  Two lessons fall out:
+
+* push arrivals cannot be aligned (they are user-facing content delivered
+  on arrival), so total wakeups barely drop at equal rates;
+* the *remaining* periodic work still benefits from SIMTY, so similarity-
+  based alignment and push channels compose rather than compete.
+
+Run:  python examples/push_vs_poll.py
+"""
+
+from repro import NativePolicy, SimtyPolicy, run_workload
+from repro.analysis.report import format_table
+from repro.workloads.push import convert_to_push
+from repro.workloads.scenarios import build_light
+
+PUSHED_APPS = ("Facebook", "imo.im", "BAND")
+
+
+def build_push_workload():
+    workload = build_light()
+    for index, app in enumerate(PUSHED_APPS):
+        convert_to_push(workload, app, seed=100 + index)
+    return workload
+
+
+def main():
+    rows = []
+    for name, builder in (("poll", build_light), ("push", build_push_workload)):
+        for policy_name, policy in (
+            ("NATIVE", NativePolicy()),
+            ("SIMTY", SimtyPolicy()),
+        ):
+            result = run_workload(builder(), policy)
+            rows.append(
+                (
+                    name,
+                    policy_name,
+                    result.trace.wake_count(),
+                    f"{result.energy.total_mj / 1000:.0f} J",
+                )
+            )
+    print(
+        "Light workload with Facebook/imo.im/BAND moved from 60-202 s "
+        "polling\nto push channels at the same mean message rate:\n"
+    )
+    print(format_table(("channel", "policy", "wakeups", "energy"), rows))
+    print(
+        "\nPush does not remove the wakeups (messages still arrive), and "
+        "only\nSIMTY keeps the remaining periodic work cheap — the two "
+        "mechanisms compose."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP 517 editable
+installs (which build a wheel) fail; `python setup.py develop` and
+`pip install -e . --no-build-isolation` both work through this shim.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""SIMTY — similarity-based wakeup management for mobile systems in
+connected standby.
+
+A full reproduction of Kao, Cheng and Hsiu, *Similarity-Based Wakeup
+Management for Mobile Systems in Connected Standby*, DAC 2016.
+
+The library layers as follows (each importable on its own):
+
+* :mod:`repro.core` — the alarm model, similarity classification and the
+  alignment policies (NATIVE, SIMTY, EXACT, duration-aware SIMTY);
+* :mod:`repro.simulator` — a discrete-event alarm-manager/device simulator
+  standing in for the instrumented Android framework;
+* :mod:`repro.power` — calibrated energy accounting and battery projection;
+* :mod:`repro.workloads` — the Table 3 app catalog, the paper's light/heavy
+  scenarios, a synthetic generator and trace replay;
+* :mod:`repro.metrics` — delivery delay, wakeup breakdown, periodicity;
+* :mod:`repro.analysis` — experiment matrix, figures/tables and the
+  ``simty`` CLI.
+
+Quickstart::
+
+    from repro import run_pair
+
+    pair = run_pair("light")
+    print(f"SIMTY saves {pair.comparison.total_savings:.0%} energy and "
+          f"extends standby by {pair.comparison.standby_extension:.0%}")
+"""
+
+from .analysis.experiments import (
+    ExperimentResult,
+    PairResult,
+    run_experiment,
+    run_pair,
+    run_paper_matrix,
+    run_workload,
+)
+from .core import (
+    Alarm,
+    AlarmQueue,
+    Component,
+    DurationAwareSimtyPolicy,
+    ExactPolicy,
+    HardwareSet,
+    Interval,
+    NativePolicy,
+    QueueEntry,
+    RepeatKind,
+    SimtyPolicy,
+)
+from .power import NEXUS5, PowerModel, account
+from .simulator import SimulationTrace, Simulator, SimulatorConfig, simulate
+from .workloads import ScenarioConfig, Workload, build_heavy, build_light
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "PairResult",
+    "run_experiment",
+    "run_pair",
+    "run_paper_matrix",
+    "run_workload",
+    "Alarm",
+    "AlarmQueue",
+    "Component",
+    "DurationAwareSimtyPolicy",
+    "ExactPolicy",
+    "HardwareSet",
+    "Interval",
+    "NativePolicy",
+    "QueueEntry",
+    "RepeatKind",
+    "SimtyPolicy",
+    "NEXUS5",
+    "PowerModel",
+    "account",
+    "SimulationTrace",
+    "Simulator",
+    "SimulatorConfig",
+    "simulate",
+    "ScenarioConfig",
+    "Workload",
+    "build_heavy",
+    "build_light",
+    "__version__",
+]

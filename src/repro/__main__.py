@@ -1,0 +1,8 @@
+"""``python -m repro`` — alias for the ``simty`` CLI."""
+
+import sys
+
+from .analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

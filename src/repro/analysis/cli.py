@@ -1,0 +1,274 @@
+"""Command-line front end.
+
+Installed as the ``simty`` console script::
+
+    simty paper                      # reproduce Figs. 2-4 + Table 4
+    simty run --workload light --policy simty --dump-events
+    simty compare --workload heavy
+    simty sweep --kind beta
+
+All output is plain text, matching the layouts in the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..metrics.delay import delay_report
+from ..metrics.wakeups import wakeup_breakdown
+from ..power.accounting import account
+from ..power.attribution import attribution_table
+from ..power.profiles import NEXUS5
+from ..simulator.events import event_log
+from ..simulator.serialize import load_trace, save_trace
+from ..workloads.scenarios import ScenarioConfig
+from .experiments import (
+    POLICY_FACTORIES,
+    WORKLOAD_BUILDERS,
+    run_experiment,
+    run_pair,
+    run_paper_matrix,
+)
+from .report import (
+    format_table,
+    render_all,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_summary,
+    render_table4,
+)
+from .timeline import render_timeline
+from .validation import render_validation, run_validation
+from .sweep import (
+    beta_sweep,
+    bucket_sweep,
+    classifier_sweep,
+    duration_sweep,
+    scale_sweep,
+    sensitivity_sweep,
+)
+
+
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOAD_BUILDERS),
+        default="light",
+        help="evaluation scenario (Sec. 4.1)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simty",
+        description=(
+            "Similarity-based wakeup management (DAC'16) — simulation and "
+            "paper-reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    paper = sub.add_parser("paper", help="reproduce every figure and table")
+    paper.add_argument("--beta", type=float, default=None)
+    paper.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all artifact data as JSON",
+    )
+
+    run = sub.add_parser("run", help="run one policy on one workload")
+    _add_workload_arg(run)
+    run.add_argument(
+        "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
+    )
+    run.add_argument("--beta", type=float, default=None)
+    run.add_argument(
+        "--dump-events",
+        action="store_true",
+        help="print the chronological event log",
+    )
+    run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print an ASCII timeline of the run",
+    )
+    run.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="write the run's trace as JSON for later `simty inspect`",
+    )
+    run.add_argument(
+        "--blame",
+        action="store_true",
+        help="print per-app energy attribution",
+    )
+
+    compare = sub.add_parser("compare", help="NATIVE vs SIMTY on one workload")
+    _add_workload_arg(compare)
+    compare.add_argument("--beta", type=float, default=None)
+    compare.add_argument(
+        "--baseline", choices=sorted(POLICY_FACTORIES), default="native"
+    )
+    compare.add_argument(
+        "--improved", choices=sorted(POLICY_FACTORIES), default="simty"
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="analyse a trace saved with `run --save-trace`"
+    )
+    inspect.add_argument("trace", help="path to a saved trace JSON")
+    inspect.add_argument("--timeline", action="store_true")
+
+    sub.add_parser("validate", help="run installation self-checks")
+
+    sweep = sub.add_parser("sweep", help="ablations and scaling studies")
+    sweep.add_argument(
+        "--kind",
+        choices=("beta", "classifier", "scale", "duration", "bucket", "sensitivity"),
+        default="beta",
+    )
+    _add_workload_arg(sweep)
+    return parser
+
+
+def _scenario_config(beta: Optional[float]) -> Optional[ScenarioConfig]:
+    if beta is None:
+        return None
+    return ScenarioConfig(beta=beta)
+
+
+def _command_paper(args: argparse.Namespace) -> int:
+    scenario_config = _scenario_config(args.beta)
+    matrix = run_paper_matrix(scenario_config=scenario_config)
+    print(render_all(matrix))
+    if args.json:
+        from .export import export_paper_results
+
+        export_paper_results(args.json, matrix, scenario_config)
+        print(f"\nartifact data written to {args.json}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.workload, args.policy, _scenario_config(args.beta)
+    )
+    print(
+        f"{result.policy_name.upper()} on {result.workload_name}: "
+        f"{result.wakeups.cpu.delivered} wakeups, "
+        f"{result.energy.total_mj / 1000.0:.0f} J total "
+        f"({result.energy.awake_mj / 1000.0:.0f} J awake), "
+        f"imperceptible delay {result.delays.imperceptible.mean:.4f}"
+    )
+    if args.timeline:
+        print()
+        print(render_timeline(result.trace))
+    if args.blame:
+        print()
+        for share in attribution_table(result.trace, NEXUS5):
+            print(
+                f"  {share.app:<20s} {share.total_mj / 1000.0:8.1f} J"
+            )
+    if args.save_trace:
+        save_trace(result.trace, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    if args.dump_events:
+        for event in event_log(result.trace):
+            print(event.format())
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    pair = run_pair(
+        args.workload,
+        baseline_policy=args.baseline,
+        improved_policy=args.improved,
+        scenario_config=_scenario_config(args.beta),
+    )
+    matrix = {args.workload: pair}
+    print(render_fig3(matrix))
+    print()
+    print(render_fig4(matrix))
+    print()
+    print(render_table4(matrix))
+    print()
+    print(render_summary(matrix))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.kind == "beta":
+        rows = beta_sweep(workload=args.workload)
+    elif args.kind == "classifier":
+        rows = classifier_sweep(workload=args.workload)
+    elif args.kind == "scale":
+        rows = scale_sweep()
+    elif args.kind == "bucket":
+        rows = bucket_sweep(workload=args.workload)
+    elif args.kind == "sensitivity":
+        rows = sensitivity_sweep(workload=args.workload)
+    else:
+        rows = duration_sweep(workload=args.workload)
+    if not rows:
+        print("no results")
+        return 1
+    headers = list(rows[0].keys())
+    body = [
+        [
+            f"{value:.4f}" if isinstance(value, float) else str(value)
+            for value in row.values()
+        ]
+        for row in rows
+    ]
+    print(format_table(headers, body))
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    results = run_validation()
+    print(render_validation(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    breakdown = account(trace, NEXUS5)
+    delays = delay_report(trace)
+    wakeups = wakeup_breakdown(trace)
+    print(
+        f"{trace.policy_name} trace over {trace.horizon / 3_600_000.0:.2f} h: "
+        f"{wakeups.cpu.delivered} wakeups, "
+        f"{trace.delivery_count()} deliveries, "
+        f"{breakdown.total_mj / 1000.0:.0f} J total, "
+        f"imperceptible delay {delays.imperceptible.mean:.4f}"
+    )
+    for share in attribution_table(trace, NEXUS5):
+        print(f"  {share.app:<20s} {share.total_mj / 1000.0:8.1f} J")
+    if args.timeline:
+        print()
+        print(render_timeline(trace))
+    return 0
+
+
+_COMMANDS = {
+    "paper": _command_paper,
+    "inspect": _command_inspect,
+    "validate": _command_validate,
+    "run": _command_run,
+    "compare": _command_compare,
+    "sweep": _command_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""End-to-end experiment runner.
+
+Composes workloads, policies, the simulator and the power model into the
+paper's experiment matrix (policy x workload) and returns everything the
+figures and tables need.  Each run builds a *fresh* workload, because alarms
+are mutable and single-use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.bucket import FixedIntervalPolicy
+from ..core.duration import DurationAwareSimtyPolicy
+from ..core.exact import ExactPolicy
+from ..core.native import NativePolicy
+from ..core.policy import AlignmentPolicy
+from ..core.simty import SimtyPolicy
+from ..metrics.delay import DelayReport, delay_report
+from ..metrics.energy import EnergyComparison
+from ..metrics.wakeups import WakeupBreakdown, wakeup_breakdown
+from ..power.accounting import EnergyBreakdown, account
+from ..power.model import PowerModel
+from ..power.profiles import NEXUS5
+from ..simulator.engine import Simulator, SimulatorConfig
+from ..simulator.trace import SimulationTrace
+from ..workloads.scenarios import (
+    ScenarioConfig,
+    Workload,
+    build_heavy,
+    build_light,
+)
+
+#: Policy factories keyed by the names used on the CLI and in benches.
+POLICY_FACTORIES: Dict[str, Callable[[], AlignmentPolicy]] = {
+    "native": NativePolicy,
+    "simty": SimtyPolicy,
+    "exact": ExactPolicy,
+    "simty+dur": DurationAwareSimtyPolicy,
+    "bucket": FixedIntervalPolicy,
+}
+
+#: Workload builders keyed by scenario name.
+WORKLOAD_BUILDERS: Dict[str, Callable[[ScenarioConfig], Workload]] = {
+    "light": build_light,
+    "heavy": build_heavy,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything measured from one (policy, workload) run."""
+
+    workload_name: str
+    policy_name: str
+    trace: SimulationTrace
+    energy: EnergyBreakdown
+    delays: DelayReport
+    wakeups: WakeupBreakdown
+    major_labels: List[str] = field(default_factory=list)
+
+
+def run_experiment(
+    workload: str,
+    policy: str,
+    scenario_config: Optional[ScenarioConfig] = None,
+    model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
+    policy_factory: Optional[Callable[[], AlignmentPolicy]] = None,
+) -> ExperimentResult:
+    """Run one cell of the experiment matrix.
+
+    ``policy_factory`` overrides the registry lookup, e.g. to inject a SIMTY
+    variant with a non-default hardware-similarity classifier.
+    """
+    scenario_config = scenario_config or ScenarioConfig()
+    builder = WORKLOAD_BUILDERS.get(workload)
+    if builder is None:
+        raise KeyError(
+            f"unknown workload {workload!r}; choose from "
+            f"{sorted(WORKLOAD_BUILDERS)}"
+        )
+    if policy_factory is None:
+        factory = POLICY_FACTORIES.get(policy)
+        if factory is None:
+            raise KeyError(
+                f"unknown policy {policy!r}; choose from "
+                f"{sorted(POLICY_FACTORIES)}"
+            )
+    else:
+        factory = policy_factory
+    built = builder(scenario_config)
+    return run_workload(
+        built,
+        factory(),
+        model=model,
+        simulator_config=simulator_config,
+        policy_name=policy,
+    )
+
+
+def run_workload(
+    workload: Workload,
+    policy: AlignmentPolicy,
+    model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
+    policy_name: Optional[str] = None,
+    external_events: tuple = (),
+) -> ExperimentResult:
+    """Run an already-built workload under a policy instance.
+
+    ``external_events`` injects user/push wakes (see
+    :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
+    """
+    config = simulator_config or SimulatorConfig(horizon=workload.horizon)
+    if config.horizon != workload.horizon:
+        config = SimulatorConfig(
+            horizon=workload.horizon,
+            wake_latency_ms=config.wake_latency_ms,
+            tail_ms=config.tail_ms,
+        )
+    simulator = Simulator(policy, config=config, external_events=external_events)
+    workload.apply(simulator)
+    trace = simulator.run()
+    majors = workload.major_labels()
+    return ExperimentResult(
+        workload_name=workload.name,
+        policy_name=policy_name or policy.name,
+        trace=trace,
+        energy=account(trace, model),
+        delays=delay_report(trace, labels=majors),
+        wakeups=wakeup_breakdown(trace, major_labels=majors),
+        major_labels=majors,
+    )
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """A NATIVE-vs-SIMTY pair on one workload (the paper's basic unit)."""
+
+    workload_name: str
+    baseline: ExperimentResult
+    improved: ExperimentResult
+
+    @property
+    def comparison(self) -> EnergyComparison:
+        return EnergyComparison(
+            baseline=self.baseline.energy, improved=self.improved.energy
+        )
+
+
+def run_pair(
+    workload: str,
+    baseline_policy: str = "native",
+    improved_policy: str = "simty",
+    scenario_config: Optional[ScenarioConfig] = None,
+    model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
+) -> PairResult:
+    """Run the paper's basic comparison on one workload."""
+    baseline = run_experiment(
+        workload, baseline_policy, scenario_config, model, simulator_config
+    )
+    improved = run_experiment(
+        workload, improved_policy, scenario_config, model, simulator_config
+    )
+    return PairResult(
+        workload_name=workload, baseline=baseline, improved=improved
+    )
+
+
+def run_paper_matrix(
+    scenario_config: Optional[ScenarioConfig] = None,
+    model: PowerModel = NEXUS5,
+) -> Dict[str, PairResult]:
+    """Both workloads, NATIVE vs SIMTY: the inputs to Figs. 3-4 and Table 4."""
+    return {
+        workload: run_pair(workload, scenario_config=scenario_config, model=model)
+        for workload in ("light", "heavy")
+    }

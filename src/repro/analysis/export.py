@@ -1,0 +1,68 @@
+"""Machine-readable export of every evaluation artifact.
+
+``simty paper --json results.json`` writes the complete figure/table data
+as one JSON document, so plots can be made with any external tool without
+re-running the simulations.  The schema mirrors
+:mod:`repro.analysis.figures`: plain lists of row dicts per artifact, plus
+run metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..workloads.scenarios import ScenarioConfig
+from .experiments import PairResult, run_paper_matrix
+from .figures import (
+    fig2_motivating,
+    fig3_energy,
+    fig4_delay,
+    standby_summary,
+    table4_wakeups,
+)
+
+
+def paper_results(
+    matrix: Optional[Dict[str, PairResult]] = None,
+    scenario_config: Optional[ScenarioConfig] = None,
+) -> Dict:
+    """All evaluation artifacts as one JSON-serializable document."""
+    if matrix is None:
+        matrix = run_paper_matrix(scenario_config=scenario_config)
+    config = scenario_config or ScenarioConfig()
+    table4 = [
+        {
+            key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in row.items()
+        }
+        for row in table4_wakeups(matrix)
+    ]
+    return {
+        "meta": {
+            "paper": (
+                "Similarity-Based Wakeup Management for Mobile Systems in "
+                "Connected Standby (DAC 2016)"
+            ),
+            "beta": config.beta,
+            "horizon_ms": config.horizon,
+            "phase_seed": config.phase_seed,
+        },
+        "fig2_motivating_mj": fig2_motivating(),
+        "fig3_energy": fig3_energy(matrix),
+        "fig4_delay": fig4_delay(matrix),
+        "table4_wakeups": table4,
+        "headline": standby_summary(matrix),
+    }
+
+
+def export_paper_results(
+    path: Union[str, Path],
+    matrix: Optional[Dict[str, PairResult]] = None,
+    scenario_config: Optional[ScenarioConfig] = None,
+) -> Dict:
+    """Write :func:`paper_results` to ``path`` and return the document."""
+    document = paper_results(matrix, scenario_config)
+    Path(path).write_text(json.dumps(document, indent=2))
+    return document

@@ -1,0 +1,106 @@
+"""Multi-run replication with dispersion statistics.
+
+Sec. 4.1: "We conducted each experiment three times to reduce the potential
+influence of uncontrollable factors ... and reported the average value."
+The simulator's uncontrollable factor is the relative phase of the app
+grids (install timing on the real phone); replication therefore varies the
+scenario's ``phase_seed`` and reports mean and sample standard deviation of
+every headline metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..power.model import PowerModel
+from ..power.profiles import NEXUS5
+from ..workloads.scenarios import ScenarioConfig
+from .experiments import PairResult, run_pair
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean and sample standard deviation of one metric across runs."""
+
+    mean: float
+    stdev: float
+    samples: List[float]
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "MetricStats":
+        values = list(samples)
+        if not values:
+            raise ValueError("no samples")
+        mean = sum(values) / len(values)
+        if len(values) > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            stdev = math.sqrt(variance)
+        else:
+            stdev = 0.0
+        return MetricStats(mean=mean, stdev=stdev, samples=values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} +/- {self.stdev:.3f}"
+
+
+@dataclass(frozen=True)
+class ReplicatedPair:
+    """Headline metrics of a policy pair across replicated runs."""
+
+    workload: str
+    seeds: List[int]
+    total_savings: MetricStats
+    awake_savings: MetricStats
+    standby_extension: MetricStats
+    baseline_wakeups: MetricStats
+    improved_wakeups: MetricStats
+    improved_imperceptible_delay: MetricStats
+
+
+def replicate_pair(
+    workload: str,
+    seeds: Sequence[int] = (1, 2, 3),
+    base_config: ScenarioConfig = ScenarioConfig(),
+    model: PowerModel = NEXUS5,
+) -> ReplicatedPair:
+    """Run NATIVE-vs-SIMTY once per phase seed and aggregate."""
+    pairs: List[PairResult] = []
+    for seed in seeds:
+        config = replace(base_config, phase_seed=seed)
+        pairs.append(run_pair(workload, scenario_config=config, model=model))
+    return ReplicatedPair(
+        workload=workload,
+        seeds=list(seeds),
+        total_savings=MetricStats.of(
+            [pair.comparison.total_savings for pair in pairs]
+        ),
+        awake_savings=MetricStats.of(
+            [pair.comparison.awake_savings for pair in pairs]
+        ),
+        standby_extension=MetricStats.of(
+            [pair.comparison.standby_extension for pair in pairs]
+        ),
+        baseline_wakeups=MetricStats.of(
+            [float(pair.baseline.wakeups.cpu.delivered) for pair in pairs]
+        ),
+        improved_wakeups=MetricStats.of(
+            [float(pair.improved.wakeups.cpu.delivered) for pair in pairs]
+        ),
+        improved_imperceptible_delay=MetricStats.of(
+            [pair.improved.delays.imperceptible.mean for pair in pairs]
+        ),
+    )
+
+
+def replicate_matrix(
+    seeds: Sequence[int] = (1, 2, 3),
+    base_config: ScenarioConfig = ScenarioConfig(),
+    model: PowerModel = NEXUS5,
+) -> Dict[str, ReplicatedPair]:
+    """Both workloads, replicated — the paper's full reported protocol."""
+    return {
+        workload: replicate_pair(workload, seeds, base_config, model)
+        for workload in ("light", "heavy")
+    }

@@ -1,0 +1,136 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+Renders the series from :mod:`repro.analysis.figures` in the same layout as
+the paper so measured values can be eyeballed against the published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .experiments import PairResult
+from .figures import (
+    TABLE4_COMPONENTS,
+    fig2_motivating,
+    fig3_energy,
+    fig4_delay,
+    standby_summary,
+    table4_wakeups,
+)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Simple fixed-width table renderer."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_fig2(results: Optional[Dict[str, float]] = None) -> str:
+    """The motivating example (paper: NATIVE 7,520 mJ, SIMTY 4,050 mJ)."""
+    results = results or fig2_motivating()
+    rows = [
+        (policy, f"{energy:,.0f} mJ")
+        for policy, energy in sorted(results.items())
+    ]
+    return "Figure 2 — motivating example, delivery energy\n" + format_table(
+        ("policy", "energy"), rows
+    )
+
+
+def render_fig3(matrix: Optional[Dict[str, PairResult]] = None) -> str:
+    """Fig. 3: energy consumption under NATIVE and SIMTY."""
+    rows = [
+        (
+            entry["workload"],
+            entry["policy"],
+            f"{entry['sleep_j']:.0f}",
+            f"{entry['awake_j']:.0f}",
+            f"{entry['total_j']:.0f}",
+        )
+        for entry in fig3_energy(matrix)
+    ]
+    return "Figure 3 — energy consumption (J, 3 h connected standby)\n" + (
+        format_table(("workload", "policy", "sleep", "awake", "total"), rows)
+    )
+
+
+def render_fig4(matrix: Optional[Dict[str, PairResult]] = None) -> str:
+    """Fig. 4: normalized delivery delay."""
+    rows = [
+        (
+            entry["workload"],
+            entry["policy"],
+            f"{entry['perceptible']:.4f}",
+            f"{entry['imperceptible']:.4f}",
+        )
+        for entry in fig4_delay(matrix)
+    ]
+    return "Figure 4 — normalized delivery delay\n" + format_table(
+        ("workload", "policy", "perceptible", "imperceptible"), rows
+    )
+
+
+def render_table4(matrix: Optional[Dict[str, PairResult]] = None) -> str:
+    """Table 4: the wakeup breakdown."""
+    headers = ["workload", "policy", "CPU"] + [
+        component.name for component in TABLE4_COMPONENTS
+    ]
+    rows: List[List[str]] = []
+    for entry in table4_wakeups(matrix):
+        row = [entry["workload"], entry["policy"]]
+        delivered, expected = entry["CPU"]
+        row.append(f"{delivered}/{expected}")
+        for component in TABLE4_COMPONENTS:
+            delivered, expected = entry[component.name]
+            row.append(f"{delivered}/{expected}")
+        rows.append(row)
+    return "Table 4 — wakeup breakdown (delivered/expected)\n" + format_table(
+        headers, rows
+    )
+
+
+def render_summary(matrix: Optional[Dict[str, PairResult]] = None) -> str:
+    """Sec. 4.2 headline: savings and standby extension."""
+    rows = [
+        (
+            entry["workload"],
+            f"{entry['total_savings']:.1%}",
+            f"{entry['awake_savings']:.1%}",
+            f"+{entry['standby_extension']:.1%}",
+        )
+        for entry in standby_summary(matrix)
+    ]
+    return "Headline — improved vs baseline policy\n" + format_table(
+        ("workload", "total savings", "awake savings", "standby extension"),
+        rows,
+    )
+
+
+def render_all(matrix: Optional[Dict[str, PairResult]] = None) -> str:
+    """Every evaluation artifact, ready for the terminal or EXPERIMENTS.md."""
+    if matrix is None:
+        from .experiments import run_paper_matrix
+
+        matrix = run_paper_matrix()
+    sections = [
+        render_fig2(),
+        render_fig3(matrix),
+        render_fig4(matrix),
+        render_table4(matrix),
+        render_summary(matrix),
+    ]
+    return "\n\n".join(sections)

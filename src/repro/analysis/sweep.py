@@ -1,0 +1,228 @@
+"""Parameter sweeps and ablations.
+
+The paper fixes ``beta = 0.96`` and the three-level hardware classifier; the
+sweeps here quantify those design choices:
+
+* :func:`beta_sweep` — energy/delay/wakeups as the grace fraction grows from
+  the window fraction toward 1 (A1 in DESIGN.md);
+* :func:`classifier_sweep` — the 2/3/4-level hardware-similarity variants
+  sketched in Sec. 3.1.1 (A2);
+* :func:`scale_sweep` — synthetic workloads of growing app count (S1);
+* :func:`duration_sweep` — SIMTY vs duration-aware SIMTY (A3, Sec. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import dataclasses
+
+from ..core.bucket import FixedIntervalPolicy
+from ..core.duration import DurationAwareSimtyPolicy
+from ..core.similarity import HARDWARE_CLASSIFIERS
+from ..core.simty import SimtyPolicy
+from ..metrics.delay import max_window_violation_ms
+from ..power.accounting import account, savings_fraction
+from ..power.model import PowerModel
+from ..power.profiles import NEXUS5
+from ..workloads.scenarios import ScenarioConfig
+from ..workloads.synthetic import SyntheticConfig, generate
+from .experiments import run_experiment, run_workload
+
+
+def beta_sweep(
+    workload: str = "light",
+    betas: Sequence[float] = (0.75, 0.80, 0.85, 0.90, 0.96, 0.99),
+    model: PowerModel = NEXUS5,
+) -> List[Dict]:
+    """Sweep the grace fraction; NATIVE is the beta-independent baseline."""
+    baseline = run_experiment(workload, "native", model=model)
+    rows = []
+    for beta in betas:
+        config = ScenarioConfig(beta=beta)
+        result = run_experiment(workload, "simty", config, model=model)
+        rows.append(
+            {
+                "beta": beta,
+                "wakeups": result.wakeups.cpu.delivered,
+                "total_savings": savings_fraction(baseline.energy, result.energy),
+                "imperceptible_delay": result.delays.imperceptible.mean,
+            }
+        )
+    return rows
+
+
+def classifier_sweep(
+    workload: str = "heavy",
+    model: PowerModel = NEXUS5,
+    names: Optional[Iterable[str]] = None,
+) -> List[Dict]:
+    """Compare the hardware-similarity granularities of Sec. 3.1.1."""
+    baseline = run_experiment(workload, "native", model=model)
+    rows = []
+    for name in names or sorted(HARDWARE_CLASSIFIERS):
+        classifier = HARDWARE_CLASSIFIERS[name]
+        result = run_experiment(
+            workload,
+            f"simty[{name}]",
+            model=model,
+            policy_factory=lambda c=classifier: SimtyPolicy(hardware_classifier=c),
+        )
+        rows.append(
+            {
+                "classifier": name,
+                "wakeups": result.wakeups.cpu.delivered,
+                "total_savings": savings_fraction(baseline.energy, result.energy),
+                "imperceptible_delay": result.delays.imperceptible.mean,
+            }
+        )
+    return rows
+
+
+def scale_sweep(
+    app_counts: Sequence[int] = (10, 25, 50, 100),
+    seed: int = 1,
+    model: PowerModel = NEXUS5,
+) -> List[Dict]:
+    """NATIVE-vs-SIMTY savings on synthetic workloads of growing size."""
+    from ..core.native import NativePolicy
+
+    rows = []
+    for count in app_counts:
+        config = SyntheticConfig(app_count=count, seed=seed)
+        native = run_workload(generate(config), NativePolicy(), model=model)
+        simty = run_workload(generate(config), SimtyPolicy(), model=model)
+        rows.append(
+            {
+                "apps": count,
+                "native_wakeups": native.wakeups.cpu.delivered,
+                "simty_wakeups": simty.wakeups.cpu.delivered,
+                "total_savings": savings_fraction(native.energy, simty.energy),
+            }
+        )
+    return rows
+
+
+def bucket_sweep(
+    workload: str = "heavy",
+    bucket_intervals_s: Sequence[int] = (60, 120, 300, 600),
+    model: PowerModel = NEXUS5,
+) -> List[Dict]:
+    """Compare SIMTY with the fixed-interval remedy of [Lin et al.] (A4).
+
+    For each bucket interval, reports wakeups, savings vs NATIVE, and the
+    worst window violation of a *perceptible* major alarm — the
+    user-experience damage SIMTY's search phase rules out by construction.
+    """
+    baseline = run_experiment(workload, "native", model=model)
+    rows: List[Dict] = []
+    simty = run_experiment(workload, "simty", model=model)
+    rows.append(
+        {
+            "policy": "simty",
+            "wakeups": simty.wakeups.cpu.delivered,
+            "total_savings": savings_fraction(baseline.energy, simty.energy),
+            "worst_window_miss_s": max_window_violation_ms(
+                simty.trace, labels=simty.major_labels
+            )
+            / 1000.0,
+        }
+    )
+    for interval_s in bucket_intervals_s:
+        result = run_experiment(
+            workload,
+            f"bucket-{interval_s}s",
+            model=model,
+            policy_factory=lambda s=interval_s: FixedIntervalPolicy(
+                bucket_interval=s * 1000
+            ),
+        )
+        rows.append(
+            {
+                "policy": f"bucket-{interval_s}s",
+                "wakeups": result.wakeups.cpu.delivered,
+                "total_savings": savings_fraction(
+                    baseline.energy, result.energy
+                ),
+                "worst_window_miss_s": max_window_violation_ms(
+                    result.trace, labels=result.major_labels
+                )
+                / 1000.0,
+            }
+        )
+    return rows
+
+
+def sensitivity_sweep(
+    workload: str = "light",
+    scales: Sequence[float] = (0.75, 1.0, 1.25),
+    model: PowerModel = NEXUS5,
+) -> List[Dict]:
+    """Perturb the calibrated power constants and re-derive the headline.
+
+    The paper's conclusions should not hinge on any single calibration
+    constant (DESIGN.md §5).  Each row scales one group of constants —
+    the sleep floor, the awake base power, or every component activation
+    energy — by ``scale`` and reports SIMTY's total savings.
+    """
+    native = run_experiment(workload, "native", model=model)
+    simty = run_experiment(workload, "simty", model=model)
+
+    def scaled_model(group: str, scale: float) -> PowerModel:
+        if group == "sleep":
+            return dataclasses.replace(
+                model, sleep_power_mw=model.sleep_power_mw * scale
+            )
+        if group == "awake_base":
+            return dataclasses.replace(
+                model, awake_base_power_mw=model.awake_base_power_mw * scale
+            )
+        components = {
+            component: dataclasses.replace(
+                spec, activation_energy_mj=spec.activation_energy_mj * scale
+            )
+            for component, spec in model.components.items()
+        }
+        return dataclasses.replace(model, components=components)
+
+    rows: List[Dict] = []
+    for group in ("sleep", "awake_base", "activation"):
+        for scale in scales:
+            perturbed = scaled_model(group, scale)
+            baseline = account(native.trace, perturbed)
+            improved = account(simty.trace, perturbed)
+            rows.append(
+                {
+                    "group": group,
+                    "scale": scale,
+                    "total_savings": savings_fraction(baseline, improved),
+                }
+            )
+    return rows
+
+
+def duration_sweep(
+    workload: str = "heavy", model: PowerModel = NEXUS5
+) -> List[Dict]:
+    """SIMTY vs the Sec. 5 duration-aware extension."""
+    rows = []
+    baseline = run_experiment(workload, "native", model=model)
+    for name, factory in (
+        ("simty", SimtyPolicy),
+        ("simty+dur", DurationAwareSimtyPolicy),
+    ):
+        result = run_experiment(
+            workload, name, model=model, policy_factory=factory
+        )
+        hold_ms = sum(
+            usage.hold_ms for usage in result.trace.wakelocks.usage.values()
+        )
+        rows.append(
+            {
+                "policy": name,
+                "wakeups": result.wakeups.cpu.delivered,
+                "hardware_hold_ms": hold_ms,
+                "total_savings": savings_fraction(baseline.energy, result.energy),
+            }
+        )
+    return rows

@@ -1,0 +1,72 @@
+"""ASCII timeline rendering of simulation traces.
+
+Renders a trace as one text lane per app plus a device lane, so alignment
+behaviour can be inspected at a glance (the textual analogue of the paper's
+Fig. 2 timelines)::
+
+    device    |#...#....#....#...|
+    Facebook  |*...*....*....*...|
+    Line      |....*.........*...|
+
+``#`` marks a wake session, ``*`` a delivery in that time bucket, ``.``
+idle time.  Used by ``simty run --timeline`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..simulator.trace import SimulationTrace
+
+
+def render_timeline(
+    trace: SimulationTrace,
+    width: int = 72,
+    apps: Optional[List[str]] = None,
+    max_lanes: int = 20,
+) -> str:
+    """Render a trace as fixed-width ASCII lanes.
+
+    ``apps`` restricts and orders the lanes; by default the busiest
+    ``max_lanes`` apps are shown, busiest first.
+    """
+    if width < 10:
+        raise ValueError("width too small to render anything useful")
+    bucket = max(1, trace.horizon // width)
+
+    device_lane = ["." for _ in range(width)]
+    for session in trace.sessions:
+        end = session.end if session.end is not None else trace.horizon
+        first = min(width - 1, session.start // bucket)
+        last = min(width - 1, max(first, (end - 1) // bucket))
+        for index in range(first, last + 1):
+            device_lane[index] = "#"
+
+    deliveries_by_app: Dict[str, List[int]] = {}
+    for record in trace.deliveries():
+        deliveries_by_app.setdefault(record.app, []).append(
+            record.delivered_at
+        )
+
+    if apps is None:
+        ranked = sorted(
+            deliveries_by_app, key=lambda app: -len(deliveries_by_app[app])
+        )
+        apps = ranked[:max_lanes]
+
+    label_width = max([len("device")] + [len(app) for app in apps]) + 2
+    lines = [
+        f"{'device'.ljust(label_width)}|{''.join(device_lane)}|"
+    ]
+    for app in apps:
+        lane = ["." for _ in range(width)]
+        for delivered_at in deliveries_by_app.get(app, []):
+            index = min(width - 1, delivered_at // bucket)
+            lane[index] = "*"
+        lines.append(f"{app.ljust(label_width)}|{''.join(lane)}|")
+    seconds_per_cell = bucket / 1000.0
+    lines.append(
+        f"{''.ljust(label_width)} one cell = {seconds_per_cell:.1f} s, "
+        f"# awake, * delivery"
+    )
+    return "\n".join(lines)

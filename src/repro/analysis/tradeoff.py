@@ -1,0 +1,103 @@
+"""The energy/delay trade-off frontier.
+
+Every wakeup-management design buys energy with delay.  This module sweeps
+the whole design space implemented in :mod:`repro.core` — NATIVE, EXACT,
+SIMTY across grace fractions, and BUCKET across intervals — and reports
+each point's (imperceptible delay, total energy, worst perceptible window
+miss), so the frontier can be read directly: SIMTY points dominate the
+others at equal user-experience cost, which is the paper's thesis in one
+chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.bucket import FixedIntervalPolicy
+from ..core.simty import SimtyPolicy
+from ..metrics.delay import max_window_violation_ms
+from ..power.model import PowerModel
+from ..power.profiles import NEXUS5
+from ..workloads.scenarios import ScenarioConfig
+from .experiments import run_experiment
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One policy configuration's position in the trade-off space."""
+
+    label: str
+    total_energy_j: float
+    imperceptible_delay: float
+    worst_window_miss_s: float
+    wakeups: int
+
+
+def tradeoff_frontier(
+    workload: str = "light",
+    betas: Sequence[float] = (0.75, 0.85, 0.96),
+    bucket_intervals_s: Sequence[int] = (120, 300, 600),
+    model: PowerModel = NEXUS5,
+) -> List[TradeoffPoint]:
+    """Sweep the implemented design space into trade-off points."""
+    points: List[TradeoffPoint] = []
+
+    def measure(label, policy_name, scenario_config=None, factory=None):
+        result = run_experiment(
+            workload,
+            policy_name,
+            scenario_config,
+            model=model,
+            policy_factory=factory,
+        )
+        points.append(
+            TradeoffPoint(
+                label=label,
+                total_energy_j=result.energy.total_mj / 1_000.0,
+                imperceptible_delay=result.delays.imperceptible.mean,
+                worst_window_miss_s=max_window_violation_ms(
+                    result.trace, labels=result.major_labels
+                )
+                / 1_000.0,
+                wakeups=result.wakeups.cpu.delivered,
+            )
+        )
+
+    measure("EXACT", "exact")
+    measure("NATIVE", "native")
+    for beta in betas:
+        measure(
+            f"SIMTY b={beta:.2f}",
+            f"simty-b{beta}",
+            ScenarioConfig(beta=beta),
+            factory=SimtyPolicy,
+        )
+    for interval_s in bucket_intervals_s:
+        measure(
+            f"BUCKET {interval_s}s",
+            f"bucket-{interval_s}",
+            factory=lambda s=interval_s: FixedIntervalPolicy(
+                bucket_interval=s * 1_000
+            ),
+        )
+    return points
+
+
+def pareto_front(points: List[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Points not dominated in (energy, delay); lower is better in both."""
+    front = []
+    for candidate in points:
+        dominated = any(
+            other.total_energy_j <= candidate.total_energy_j
+            and other.imperceptible_delay <= candidate.imperceptible_delay
+            and (
+                other.total_energy_j < candidate.total_energy_j
+                or other.imperceptible_delay < candidate.imperceptible_delay
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda point: point.total_energy_j)
+    return front

@@ -1,0 +1,101 @@
+"""Core alarm-alignment machinery: the paper's primary contribution.
+
+This subpackage is independent of the simulator and the power model; it can
+be reused directly inside any scheduler that manages batched timers.
+"""
+
+from .alarm import Alarm, RepeatKind
+from .bucket import FixedIntervalPolicy
+from .duration import DurationAwareSimtyPolicy, duration_dissimilarity
+from .entry import QueueEntry
+from .exact import ExactPolicy
+from .hardware import (
+    ACCELEROMETER_ONLY,
+    EMPTY_HARDWARE,
+    ENERGY_HUNGRY_COMPONENTS,
+    ESSENTIAL_COMPONENTS,
+    PERCEPTIBLE_COMPONENTS,
+    SPEAKER_VIBRATOR_ONLY,
+    WIFI_ONLY,
+    WPS_ONLY,
+    Component,
+    ComponentPower,
+    HardwareSet,
+)
+from .intervals import Interval, intersect_all, overlap_length
+from .native import NativePolicy
+from .oracle import OracleResult, minimum_wakeups, optimality_gap
+from .policy import AlignmentPolicy
+from .queue import AlarmQueue
+from .simty import SimtyPolicy
+from .similarity import (
+    HARDWARE_CLASSIFIERS,
+    FourLevelHardware,
+    HardwareSimilarity,
+    HardwareSimilarityClassifier,
+    ThreeLevelHardware,
+    TimeSimilarity,
+    TwoLevelHardware,
+    classify_hardware,
+    classify_time,
+    preference,
+)
+from .units import (
+    MS_PER_HOUR,
+    MS_PER_MINUTE,
+    MS_PER_SECOND,
+    THREE_HOURS_MS,
+    hours,
+    minutes,
+    seconds,
+    to_seconds,
+)
+
+__all__ = [
+    "Alarm",
+    "RepeatKind",
+    "DurationAwareSimtyPolicy",
+    "duration_dissimilarity",
+    "QueueEntry",
+    "ExactPolicy",
+    "Component",
+    "ComponentPower",
+    "HardwareSet",
+    "EMPTY_HARDWARE",
+    "WIFI_ONLY",
+    "WPS_ONLY",
+    "ACCELEROMETER_ONLY",
+    "SPEAKER_VIBRATOR_ONLY",
+    "ESSENTIAL_COMPONENTS",
+    "PERCEPTIBLE_COMPONENTS",
+    "ENERGY_HUNGRY_COMPONENTS",
+    "Interval",
+    "intersect_all",
+    "overlap_length",
+    "NativePolicy",
+    "FixedIntervalPolicy",
+    "OracleResult",
+    "minimum_wakeups",
+    "optimality_gap",
+    "AlignmentPolicy",
+    "AlarmQueue",
+    "HardwareSimilarity",
+    "TimeSimilarity",
+    "HardwareSimilarityClassifier",
+    "ThreeLevelHardware",
+    "TwoLevelHardware",
+    "FourLevelHardware",
+    "HARDWARE_CLASSIFIERS",
+    "classify_hardware",
+    "classify_time",
+    "preference",
+    "MS_PER_SECOND",
+    "MS_PER_MINUTE",
+    "MS_PER_HOUR",
+    "THREE_HOURS_MS",
+    "seconds",
+    "minutes",
+    "hours",
+    "to_seconds",
+    "SimtyPolicy",
+]

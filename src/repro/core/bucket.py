@@ -1,0 +1,63 @@
+"""BUCKET: fixed-interval forced alignment (the intro's "immediate remedy").
+
+The paper's introduction cites an earlier mitigation [Lin et al., ISLPED'15]
+that "allows a smartphone to be awakened only at a fixed time interval by
+forcibly aligning background activities within each interval".  This policy
+implements that remedy as a third comparator: every wakeup alarm is forced
+to the next multiple of ``bucket_interval`` at or after its nominal time,
+regardless of its window.
+
+It brackets SIMTY from the other side of the design space: with a large
+bucket it produces the fewest wakeups of all policies but violates window
+(and even grace) intervals of perceptible alarms — exactly the
+user-experience loss similarity-based alignment is designed to avoid.  The
+A4 bench sweeps the bucket interval against SIMTY.
+"""
+
+from __future__ import annotations
+
+from .alarm import Alarm
+from .entry import QueueEntry
+from .intervals import Interval
+from .policy import AlignmentPolicy
+from .queue import AlarmQueue
+
+
+class FixedIntervalPolicy(AlignmentPolicy):
+    """Force every alarm to the next fixed-interval boundary."""
+
+    name = "BUCKET"
+    grace_mode = False
+
+    def __init__(self, bucket_interval: int = 300_000) -> None:
+        if bucket_interval <= 0:
+            raise ValueError("bucket interval must be positive")
+        self.bucket_interval = bucket_interval
+
+    def bucket_time(self, nominal: int) -> int:
+        """The first boundary at or after ``nominal``."""
+        interval = self.bucket_interval
+        return ((nominal + interval - 1) // interval) * interval
+
+    def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        queue.remove_alarm(alarm)
+        boundary = self.bucket_time(alarm.nominal_time)
+        for entry in queue.entries():
+            if entry.window is not None and entry.window.start == boundary:
+                return self._place_in_bucket(queue, entry, alarm, boundary)
+        entry = QueueEntry([alarm])
+        entry.window = Interval(boundary, boundary)
+        entry.grace = entry.window
+        queue.add_entry(entry)
+        return entry
+
+    def _place_in_bucket(
+        self, queue: AlarmQueue, entry: QueueEntry, alarm: Alarm, boundary: int
+    ) -> QueueEntry:
+        entry.add(alarm)
+        # The bucket boundary, not the members' interval algebra, defines
+        # the delivery time.
+        entry.window = Interval(boundary, boundary)
+        entry.grace = entry.window
+        queue.resort()
+        return entry

@@ -1,0 +1,25 @@
+"""EXACT: the no-alignment baseline.
+
+Every alarm gets its own queue entry and is delivered at its nominal time.
+Table 4's denominators ("the expected number if no alignment policy is
+applied") correspond to a run under this policy; it is also a useful lower
+bound on latency and an upper bound on wakeup count for the other policies.
+"""
+
+from __future__ import annotations
+
+from .alarm import Alarm
+from .entry import QueueEntry
+from .policy import AlignmentPolicy
+from .queue import AlarmQueue
+
+
+class ExactPolicy(AlignmentPolicy):
+    """Deliver every alarm alone, exactly at its nominal time."""
+
+    name = "EXACT"
+    grace_mode = False
+
+    def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        queue.remove_alarm(alarm)
+        return self._place_in_new_entry(queue, alarm)

@@ -1,0 +1,74 @@
+"""NATIVE: Android 4.4's alignment policy (Sec. 2.1).
+
+When an alarm is inserted, the manager sequentially examines the queue
+entries to find one in which every member's window interval overlaps that of
+the new alarm; the alarm joins the first such entry, otherwise a new entry is
+created.  Because an entry maintains the running *intersection* of its
+members' windows, the faithful (and Android-source-accurate, cf.
+``Batch.canHold``) test is that the new alarm's window overlaps the entry's
+intersected window — this guarantees pairwise overlap with every member *and*
+that the intersection stays non-empty after the alarm joins.
+
+Realignment: "if the same alarm still exists in the queue when an alarm is
+to be reinserted, the alarm manager will reinsert all the other alarms,
+together with the new alarm, into the queue according to their nominal
+delivery times" — i.e. the whole queue is rebatched, mirroring Android's
+``rebatchAllAlarms``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .alarm import Alarm
+from .entry import QueueEntry
+from .policy import AlignmentPolicy
+from .queue import AlarmQueue
+
+
+class NativePolicy(AlignmentPolicy):
+    """Android's window-overlap batching with rebatch-on-stale-reinsert."""
+
+    name = "NATIVE"
+    grace_mode = False
+
+    def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        queue.remove_alarm(alarm)
+        return self._basic_insert(queue, alarm)
+
+    def reinsert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        stale = queue.remove_alarm(alarm)
+        if stale is not None:
+            return self._rebatch_with(queue, alarm)
+        return self._basic_insert(queue, alarm)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _basic_insert(self, queue: AlarmQueue, alarm: Alarm) -> QueueEntry:
+        entry = self._find_overlapping_entry(queue, alarm)
+        if entry is not None:
+            return self._place_in_entry(queue, entry, alarm)
+        return self._place_in_new_entry(queue, alarm)
+
+    def _find_overlapping_entry(
+        self, queue: AlarmQueue, alarm: Alarm
+    ) -> Optional[QueueEntry]:
+        window = alarm.window_interval()
+        for entry in queue.entries():
+            if entry.window is not None and entry.window.overlaps(window):
+                return entry
+        return None
+
+    def _rebatch_with(self, queue: AlarmQueue, alarm: Alarm) -> QueueEntry:
+        """Rebuild the whole queue in nominal-time order, then place alarm."""
+        alarms = queue.drain()
+        alarms.append(alarm)
+        alarms.sort(key=lambda item: (item.nominal_time, item.alarm_id))
+        target: Optional[QueueEntry] = None
+        for item in alarms:
+            entry = self._basic_insert(queue, item)
+            if item is alarm:
+                target = entry
+        assert target is not None
+        return target

@@ -1,0 +1,68 @@
+"""Alignment-policy interface.
+
+A policy decides, for each alarm being inserted (or reinserted after a
+repeating delivery), which queue entry the alarm joins.  Policies are pure
+queue transformations — they know nothing about energy or devices — so they
+can be unit-tested in isolation and benchmarked for insertion cost (P1).
+
+Both Android's NATIVE policy and SIMTY are applied to wakeup and non-wakeup
+alarms *separately* (Sec. 2.1, 3.2.1); the alarm manager owns one queue per
+class and calls the same policy object on each.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .alarm import Alarm
+from .entry import QueueEntry
+from .queue import AlarmQueue
+
+
+class AlignmentPolicy(ABC):
+    """Strategy deciding where a new alarm lands in the queue."""
+
+    #: Short name used in reports ("NATIVE", "SIMTY", ...).
+    name: str = "abstract"
+
+    #: Whether queues under this policy compute entry delivery times with
+    #: the grace rule for imperceptible entries (True only for SIMTY).
+    grace_mode: bool = False
+
+    def make_queue(self) -> AlarmQueue:
+        """Create a queue configured for this policy's delivery-time rule."""
+        return AlarmQueue(grace_mode=self.grace_mode)
+
+    @abstractmethod
+    def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        """Place ``alarm`` into ``queue`` and return the entry it joined.
+
+        Implementations must first remove any stale instance of the same
+        alarm (matched by id) already in the queue.
+        """
+
+    def reinsert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        """Re-queue a repeating alarm immediately after its delivery.
+
+        The default simply delegates to :meth:`insert`; NATIVE overrides
+        this to trigger its realignment behaviour when a stale instance is
+        still queued (Sec. 2.1).
+        """
+        return self.insert(queue, alarm, now)
+
+    def _place_in_new_entry(
+        self, queue: AlarmQueue, alarm: Alarm
+    ) -> QueueEntry:
+        entry = QueueEntry([alarm])
+        queue.add_entry(entry)
+        return entry
+
+    def _place_in_entry(
+        self, queue: AlarmQueue, entry: QueueEntry, alarm: Alarm
+    ) -> QueueEntry:
+        entry.add(alarm)
+        queue.resort()
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,99 @@
+"""SIMTY: the paper's similarity-based alignment policy (Sec. 3.2).
+
+The policy works in two phases.  Given an alarm to insert (after removing any
+stale instance of the same alarm):
+
+* **Search phase** — scan the queue entries in delivery-time order and keep
+  the *applicable* ones.  If either the alarm or the entry is perceptible,
+  the entry is applicable only when their time similarity is *high* (window
+  intervals overlap), which guarantees every perceptible alarm is delivered
+  within its window.  When both sides are imperceptible, *medium* time
+  similarity (grace overlap) also qualifies, so imperceptible alarms may be
+  postponed — but never beyond their grace interval.
+
+* **Selection phase** — among applicable entries pick the most *preferable*
+  per Table 1: hardware similarity dominates, time similarity breaks ties,
+  and the first-found entry wins among equals.
+
+The hardware-similarity granularity is pluggable (Sec. 3.1.1 sketches 2- and
+4-level alternatives); the default is the paper's three-level classifier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from .alarm import Alarm
+from .entry import QueueEntry
+from .policy import AlignmentPolicy
+from .queue import AlarmQueue
+from .similarity import (
+    HardwareSimilarityClassifier,
+    ThreeLevelHardware,
+    TimeSimilarity,
+    classify_time,
+    preference,
+)
+
+
+class SimtyPolicy(AlignmentPolicy):
+    """Similarity-based alignment with search and selection phases."""
+
+    name = "SIMTY"
+    grace_mode = True
+
+    def __init__(
+        self,
+        hardware_classifier: Optional[HardwareSimilarityClassifier] = None,
+    ) -> None:
+        self.hardware_classifier = hardware_classifier or ThreeLevelHardware()
+
+    def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
+        # "we first remove the same alarm if it is still in the queue"
+        queue.remove_alarm(alarm)
+        best = self._search_and_select(queue, alarm)
+        if best is not None:
+            return self._place_in_entry(queue, best, alarm)
+        return self._place_in_new_entry(queue, alarm)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _search_and_select(
+        self, queue: AlarmQueue, alarm: Alarm
+    ) -> Optional[QueueEntry]:
+        """Run both phases and return the winning entry, if any.
+
+        The scan keeps the best (lowest) preferability seen so far; because
+        entries are examined in queue order, ties resolve to the first-found
+        entry as the paper specifies.
+        """
+        best_entry: Optional[QueueEntry] = None
+        best_score = math.inf
+        for entry in queue.entries():
+            applicable, time_sim = self._applicability(alarm, entry)
+            if not applicable:
+                continue
+            hardware_rank = self.hardware_classifier.rank(
+                alarm.hardware, entry.hardware
+            )
+            score = preference(hardware_rank, time_sim)
+            if score < best_score:
+                best_score = score
+                best_entry = entry
+        return best_entry
+
+    def _applicability(
+        self, alarm: Alarm, entry: QueueEntry
+    ) -> Tuple[bool, TimeSimilarity]:
+        """Search-phase rule (Sec. 3.2.1)."""
+        time_sim = classify_time(
+            alarm.window_interval(),
+            alarm.grace_interval(),
+            entry.window,
+            entry.grace,
+        )
+        if alarm.is_perceptible() or entry.is_perceptible():
+            return time_sim is TimeSimilarity.HIGH, time_sim
+        return time_sim is not TimeSimilarity.LOW, time_sim

@@ -1,0 +1,71 @@
+"""Time and energy units used throughout the library.
+
+The simulator keeps time as integer *milliseconds* so that event ordering is
+exact and runs are bit-reproducible; helper functions convert to and from the
+more natural units used by the paper (seconds for intervals, millijoules for
+energy, milliwatts for power).
+
+The paper's experiments run for 3 hours (Sec. 4.1); :data:`THREE_HOURS_MS`
+captures that standard horizon.
+"""
+
+from __future__ import annotations
+
+#: One second expressed in simulator ticks (milliseconds).
+MS_PER_SECOND = 1_000
+
+#: One minute expressed in simulator ticks.
+MS_PER_MINUTE = 60 * MS_PER_SECOND
+
+#: One hour expressed in simulator ticks.
+MS_PER_HOUR = 60 * MS_PER_MINUTE
+
+#: The paper's experiment horizon: 3 hours of connected standby (Sec. 4.1).
+THREE_HOURS_MS = 3 * MS_PER_HOUR
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer simulator ticks (milliseconds).
+
+    Fractions below one millisecond are rounded to the nearest tick.
+
+    >>> seconds(1.5)
+    1500
+    """
+    return int(round(value * MS_PER_SECOND))
+
+
+def minutes(value: float) -> int:
+    """Convert minutes to integer simulator ticks."""
+    return int(round(value * MS_PER_MINUTE))
+
+
+def hours(value: float) -> int:
+    """Convert hours to integer simulator ticks."""
+    return int(round(value * MS_PER_HOUR))
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert simulator ticks back to (float) seconds."""
+    return ticks / MS_PER_SECOND
+
+
+def mj_to_joules(millijoules: float) -> float:
+    """Convert millijoules to joules."""
+    return millijoules / 1_000.0
+
+
+def joules_to_mj(joules: float) -> float:
+    """Convert joules to millijoules."""
+    return joules * 1_000.0
+
+
+def mw_ms_to_mj(milliwatts: float, ticks: int) -> float:
+    """Energy (mJ) of drawing ``milliwatts`` for ``ticks`` milliseconds.
+
+    1 mW sustained for 1 ms is 1 microjoule, i.e. 1e-3 mJ.
+
+    >>> mw_ms_to_mj(100.0, 1000)   # 100 mW for one second
+    100.0
+    """
+    return milliwatts * ticks / 1_000.0

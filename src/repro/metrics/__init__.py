@@ -1,0 +1,63 @@
+"""Evaluation metrics: delay (Fig. 4), wakeups (Table 4), energy (Fig. 3),
+periodicity properties (Sec. 3.2.2) and standby projection."""
+
+from .anomaly import (
+    AppWakelockProfile,
+    NoSleepSuspect,
+    app_wakelock_profiles,
+    detect_no_sleep_suspects,
+)
+from .delay import (
+    DelayReport,
+    DelaySummary,
+    delay_report,
+    max_grace_violation_ms,
+    max_window_violation_ms,
+)
+from .energy import EnergyComparison, compare_energy
+from .fairness import AppDelay, delay_fairness, jain_index, per_app_delays
+from .intervals import (
+    GapStats,
+    PeriodicityViolation,
+    check_periodicity,
+    delivery_gaps,
+    gap_stats,
+    static_grid_consistency,
+)
+from .standby import StandbyEstimate, standby_estimate
+from .wakeups import (
+    WakeupBreakdown,
+    WakeupRow,
+    least_required_wakeups,
+    wakeup_breakdown,
+)
+
+__all__ = [
+    "AppWakelockProfile",
+    "NoSleepSuspect",
+    "app_wakelock_profiles",
+    "detect_no_sleep_suspects",
+    "DelayReport",
+    "DelaySummary",
+    "delay_report",
+    "max_grace_violation_ms",
+    "max_window_violation_ms",
+    "EnergyComparison",
+    "AppDelay",
+    "delay_fairness",
+    "jain_index",
+    "per_app_delays",
+    "compare_energy",
+    "GapStats",
+    "PeriodicityViolation",
+    "check_periodicity",
+    "delivery_gaps",
+    "gap_stats",
+    "static_grid_consistency",
+    "StandbyEstimate",
+    "standby_estimate",
+    "WakeupBreakdown",
+    "WakeupRow",
+    "least_required_wakeups",
+    "wakeup_breakdown",
+]

@@ -1,0 +1,113 @@
+"""No-sleep-bug detection over simulation traces.
+
+The paper's related work (Sec. 1) surveys wakelock-misuse diagnostics:
+compile-time detectors [Pathak et al., Vekris et al.] and WakeScope-style
+runtime detection [Kim & Cha, EMSOFT'13].  This module provides the
+runtime flavour for the simulator: it flags apps whose hardware *hold*
+time is disproportionate to their CPU work — the signature of a wakelock
+acquired and not promptly released — and quantifies the energy the anomaly
+is responsible for, so a wakeup manager (or user notifier) can act on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..power.model import PowerModel
+from ..simulator.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class AppWakelockProfile:
+    """Aggregate wakelock behaviour of one app over a run."""
+
+    app: str
+    deliveries: int
+    busy_ms: int
+    hold_ms: int
+
+    @property
+    def hold_ratio(self) -> float:
+        """Hold time over CPU-busy time; ~1.0 for a well-behaved app."""
+        if self.busy_ms == 0:
+            return float("inf") if self.hold_ms > 0 else 1.0
+        return self.hold_ms / self.busy_ms
+
+
+@dataclass(frozen=True)
+class NoSleepSuspect:
+    """An app flagged by the detector."""
+
+    profile: AppWakelockProfile
+    leaked_hold_ms: int
+    leaked_energy_mj: Optional[float]
+
+
+def app_wakelock_profiles(trace: SimulationTrace) -> Dict[str, AppWakelockProfile]:
+    """Per-app busy/hold aggregates from a run's task executions."""
+    busy: Dict[str, int] = {}
+    hold: Dict[str, int] = {}
+    deliveries: Dict[str, int] = {}
+    for batch in trace.batches:
+        for task in batch.tasks:
+            busy[task.app] = busy.get(task.app, 0) + task.duration
+            # Count the hold once per task even across several components:
+            # the anomaly is the task outliving its work, not the fan-out.
+            hold[task.app] = hold.get(task.app, 0) + (
+                task.hold if not task.hardware.is_empty() else task.duration
+            )
+            deliveries[task.app] = deliveries.get(task.app, 0) + 1
+    return {
+        app: AppWakelockProfile(
+            app=app,
+            deliveries=deliveries[app],
+            busy_ms=busy[app],
+            hold_ms=hold[app],
+        )
+        for app in busy
+    }
+
+
+def detect_no_sleep_suspects(
+    trace: SimulationTrace,
+    ratio_threshold: float = 3.0,
+    min_leak_ms: int = 5_000,
+    model: Optional[PowerModel] = None,
+) -> List[NoSleepSuspect]:
+    """Flag apps whose hold time exceeds ``ratio_threshold`` x busy time.
+
+    ``min_leak_ms`` suppresses noise from short tasks; when a power model
+    is supplied the leaked hold is priced using the *average* active power
+    of the components the app's tasks wakelock.
+    """
+    suspects: List[NoSleepSuspect] = []
+    component_powers: Dict[str, List[float]] = {}
+    if model is not None:
+        for batch in trace.batches:
+            for task in batch.tasks:
+                for component in task.hardware:
+                    component_powers.setdefault(task.app, []).append(
+                        model.component_spec(component).active_power_mw
+                    )
+    for profile in app_wakelock_profiles(trace).values():
+        leak = profile.hold_ms - profile.busy_ms
+        if leak < min_leak_ms:
+            continue
+        if profile.hold_ratio < ratio_threshold:
+            continue
+        leaked_energy = None
+        if model is not None:
+            powers = component_powers.get(profile.app)
+            if powers:
+                mean_power = sum(powers) / len(powers)
+                leaked_energy = mean_power * leak / 1_000.0
+        suspects.append(
+            NoSleepSuspect(
+                profile=profile,
+                leaked_hold_ms=leak,
+                leaked_energy_mj=leaked_energy,
+            )
+        )
+    suspects.sort(key=lambda suspect: -suspect.leaked_hold_ms)
+    return suspects

@@ -1,0 +1,55 @@
+"""Energy comparison metrics (Fig. 3).
+
+Thin composition layer over :mod:`repro.power.accounting` that pairs a
+baseline run with an improved run and derives the ratios the paper reports:
+total-energy savings, awake-energy savings and the standby-time extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.accounting import (
+    EnergyBreakdown,
+    account,
+    awake_savings_fraction,
+    savings_fraction,
+)
+from ..power.battery import standby_extension
+from ..power.model import PowerModel
+from ..simulator.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Baseline-vs-improved energy outcome for one workload."""
+
+    baseline: EnergyBreakdown
+    improved: EnergyBreakdown
+
+    @property
+    def total_savings(self) -> float:
+        """Fraction of the baseline's total energy saved (paper: 20-25 %)."""
+        return savings_fraction(self.baseline, self.improved)
+
+    @property
+    def awake_savings(self) -> float:
+        """Fraction of the baseline's awake energy saved (paper: > 33 %)."""
+        return awake_savings_fraction(self.baseline, self.improved)
+
+    @property
+    def standby_extension(self) -> float:
+        """Relative standby-time gain (paper: one-fourth to one-third)."""
+        return standby_extension(self.baseline, self.improved)
+
+
+def compare_energy(
+    baseline_trace: SimulationTrace,
+    improved_trace: SimulationTrace,
+    model: PowerModel,
+) -> EnergyComparison:
+    """Account both traces under one power model and pair the results."""
+    return EnergyComparison(
+        baseline=account(baseline_trace, model),
+        improved=account(improved_trace, model),
+    )

@@ -1,0 +1,72 @@
+"""Per-app delay fairness.
+
+SIMTY postpones imperceptible alarms; a fair policy spreads that
+postponement across apps rather than starving a few.  This module computes
+per-app mean normalized delays and Jain's fairness index over them:
+
+    J = (sum x_i)^2 / (n * sum x_i^2),   J in (0, 1], 1 = perfectly even.
+
+Delay-free apps are excluded from the index (an app that is never delayed
+is not being treated unfairly), so J measures how evenly the *incurred*
+delay is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..simulator.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class AppDelay:
+    """Mean normalized delay of one app's repeating alarms."""
+
+    app: str
+    deliveries: int
+    mean_normalized_delay: float
+
+
+def per_app_delays(
+    trace: SimulationTrace, labels: Optional[Iterable[str]] = None
+) -> Dict[str, AppDelay]:
+    """Mean normalized delay per app over repeating deliveries."""
+    wanted = set(labels) if labels is not None else None
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in trace.deliveries():
+        if record.repeat_interval == 0:
+            continue
+        if wanted is not None and record.label not in wanted:
+            continue
+        sums[record.app] = sums.get(record.app, 0.0) + record.normalized_delay
+        counts[record.app] = counts.get(record.app, 0) + 1
+    return {
+        app: AppDelay(
+            app=app,
+            deliveries=counts[app],
+            mean_normalized_delay=sums[app] / counts[app],
+        )
+        for app in sums
+    }
+
+
+def jain_index(values: List[float]) -> float:
+    """Jain's fairness index of a non-negative sample (1.0 when empty)."""
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return 1.0
+    numerator = sum(positive) ** 2
+    denominator = len(positive) * sum(value * value for value in positive)
+    return numerator / denominator
+
+
+def delay_fairness(
+    trace: SimulationTrace, labels: Optional[Iterable[str]] = None
+) -> float:
+    """Jain's index over the per-app mean normalized delays."""
+    delays = per_app_delays(trace, labels)
+    return jain_index(
+        [entry.mean_normalized_delay for entry in delays.values()]
+    )

@@ -1,0 +1,158 @@
+"""Adjacent-delivery interval statistics (the Sec. 3.2.2 properties).
+
+The paper proves per-alarm bounds on the gap between adjacent deliveries:
+
+=======================  =======================  ======================
+alarm kind               minimum gap              maximum gap
+=======================  =======================  ======================
+static repeating         ``(1 - beta) * ReIn``    ``(1 + beta) * ReIn``
+dynamic repeating        ``ReIn``                 ``(1 + beta) * ReIn``
+=======================  =======================  ======================
+
+(under NATIVE, with ``alpha`` in place of ``beta``).  Together they imply
+that every imperceptible repeating alarm is delivered once and only once in
+every repeating interval.  This module measures the gaps and checks the
+bounds, allowing a slack for the RTC wake latency, which physically delays
+deliveries the same way it does on the real phone (Fig. 4 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.alarm import RepeatKind
+from ..simulator.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class GapStats:
+    """Adjacent-delivery gap statistics for one alarm."""
+
+    label: str
+    repeat_kind: RepeatKind
+    repeat_interval: int
+    deliveries: int
+    min_gap: int
+    max_gap: int
+    mean_gap: float
+
+
+@dataclass(frozen=True)
+class PeriodicityViolation:
+    """A delivery-gap bound that failed for one alarm."""
+
+    label: str
+    bound: str
+    observed: int
+    limit: float
+
+
+def delivery_gaps(trace: SimulationTrace, label: str) -> List[int]:
+    """Gaps (ticks) between adjacent deliveries of the labelled alarm."""
+    times = [record.delivered_at for record in trace.deliveries_for(label)]
+    return [later - earlier for earlier, later in zip(times, times[1:])]
+
+
+def gap_stats(trace: SimulationTrace) -> Dict[str, GapStats]:
+    """Gap statistics for every repeating alarm with >= 2 deliveries."""
+    stats: Dict[str, GapStats] = {}
+    by_label: Dict[str, List[int]] = {}
+    meta: Dict[str, tuple] = {}
+    for record in trace.deliveries():
+        if record.repeat_interval == 0:
+            continue
+        by_label.setdefault(record.label, []).append(record.delivered_at)
+        meta[record.label] = (record.repeat_kind, record.repeat_interval)
+    for label, times in by_label.items():
+        if len(times) < 2:
+            continue
+        gaps = [later - earlier for earlier, later in zip(times, times[1:])]
+        kind, interval = meta[label]
+        stats[label] = GapStats(
+            label=label,
+            repeat_kind=kind,
+            repeat_interval=interval,
+            deliveries=len(times),
+            min_gap=min(gaps),
+            max_gap=max(gaps),
+            mean_gap=sum(gaps) / len(gaps),
+        )
+    return stats
+
+
+def check_periodicity(
+    trace: SimulationTrace,
+    tolerance_fraction: Optional[float] = None,
+    latency_slack_ms: int = 0,
+    use_window: bool = False,
+) -> List[PeriodicityViolation]:
+    """Check the Sec. 3.2.2 gap bounds over every repeating wakeup alarm.
+
+    By default each alarm's *own* tolerance fraction is derived from the
+    trace: its grace length (or window length with ``use_window``, the right
+    setting for NATIVE runs) over its repeating interval.  This matters
+    because the effective grace fraction is ``max(alpha, beta)`` per alarm
+    (Sec. 3.1.2 forbids a grace below the window), so a single global
+    ``beta`` can understate an individual alarm's legal postponement.
+
+    Passing ``tolerance_fraction`` overrides the per-alarm derivation with
+    one global fraction.  ``latency_slack_ms`` widens the maximum bound by
+    the RTC wake latency, which physically delays deliveries on a real
+    phone exactly as it does in the simulator (Fig. 4 discussion).
+    """
+    fractions: Dict[str, float] = {}
+    if tolerance_fraction is None:
+        for record in trace.deliveries():
+            if record.repeat_interval == 0:
+                continue
+            end = record.window_end if use_window else record.grace_end
+            fraction = (end - record.nominal_time) / record.repeat_interval
+            fractions[record.label] = max(
+                fractions.get(record.label, 0.0), fraction
+            )
+    violations: List[PeriodicityViolation] = []
+    for stat in gap_stats(trace).values():
+        interval = stat.repeat_interval
+        if tolerance_fraction is None:
+            tolerance = fractions.get(stat.label, 0.0)
+        else:
+            tolerance = tolerance_fraction
+        max_limit = (1.0 + tolerance) * interval + latency_slack_ms
+        if stat.max_gap > max_limit:
+            violations.append(
+                PeriodicityViolation(stat.label, "max", stat.max_gap, max_limit)
+            )
+        # The wake latency works both ways: a latency-delayed delivery
+        # followed by an on-time one shortens the observed gap.
+        if stat.repeat_kind is RepeatKind.DYNAMIC:
+            min_limit = float(interval) - latency_slack_ms
+        else:
+            min_limit = (1.0 - tolerance) * interval - latency_slack_ms
+        if stat.min_gap < min_limit:
+            violations.append(
+                PeriodicityViolation(stat.label, "min", stat.min_gap, min_limit)
+            )
+    return violations
+
+
+def static_grid_consistency(trace: SimulationTrace) -> List[str]:
+    """Labels of static repeating alarms whose delivered occurrences do not
+    advance by exactly one repeating interval — i.e. a missed or duplicated
+    occurrence ("once and only once in every specified repeating interval").
+    """
+    offenders = []
+    by_label: Dict[str, List[int]] = {}
+    intervals: Dict[str, int] = {}
+    for record in trace.deliveries():
+        if record.repeat_kind is not RepeatKind.STATIC:
+            continue
+        by_label.setdefault(record.label, []).append(record.nominal_time)
+        intervals[record.label] = record.repeat_interval
+    for label, nominals in by_label.items():
+        interval = intervals[label]
+        for earlier, later in zip(nominals, nominals[1:]):
+            if later - earlier != interval:
+                offenders.append(label)
+                break
+    return offenders

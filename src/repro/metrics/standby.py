@@ -1,0 +1,37 @@
+"""Standby-time tables (the headline claim of Sec. 4.2).
+
+Projects measured average power onto battery lifetime to answer the user's
+question directly: "how many hours of connected standby do I gain?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..power.accounting import EnergyBreakdown
+from ..power.battery import Battery, battery_for
+from ..power.model import PowerModel
+
+
+@dataclass(frozen=True)
+class StandbyEstimate:
+    """Battery-lifetime projection for one run."""
+
+    policy_name: str
+    average_power_mw: float
+    standby_hours: float
+
+
+def standby_estimate(
+    breakdown: EnergyBreakdown,
+    model: PowerModel,
+    battery: Optional[Battery] = None,
+) -> StandbyEstimate:
+    """Project a run's average power onto the profile's battery."""
+    battery = battery or battery_for(model)
+    return StandbyEstimate(
+        policy_name=breakdown.policy_name,
+        average_power_mw=breakdown.average_power_mw,
+        standby_hours=battery.standby_time_hours(breakdown.average_power_mw),
+    )

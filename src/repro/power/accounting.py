@@ -1,0 +1,121 @@
+"""Energy accounting over simulation traces.
+
+Integrates a :class:`~repro.power.model.PowerModel` over a
+:class:`~repro.simulator.trace.SimulationTrace` to produce the breakdown the
+paper plots in Fig. 3 (sleep vs awake energy, per policy and workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.hardware import Component
+from ..simulator.trace import SimulationTrace
+from .model import PowerModel
+
+
+@dataclass(frozen=True)
+class ComponentEnergy:
+    """Energy attributable to one hardware component."""
+
+    activations: int
+    hold_ms: int
+    activation_mj: float
+    hold_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.activation_mj + self.hold_mj
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Fig. 3's decomposition of a run's energy."""
+
+    policy_name: str
+    horizon_ms: int
+    sleep_ms: int
+    awake_ms: int
+    wake_count: int
+    sleep_mj: float
+    awake_base_mj: float
+    wake_transitions_mj: float
+    components: Dict[Component, ComponentEnergy] = field(default_factory=dict)
+
+    @property
+    def hardware_mj(self) -> float:
+        """All component activation + hold energy."""
+        return sum(entry.total_mj for entry in self.components.values())
+
+    @property
+    def awake_mj(self) -> float:
+        """Everything except the sleep floor (the alignable part)."""
+        return self.awake_base_mj + self.wake_transitions_mj + self.hardware_mj
+
+    @property
+    def total_mj(self) -> float:
+        return self.sleep_mj + self.awake_mj
+
+    @property
+    def average_power_mw(self) -> float:
+        """Mean power over the run; drives standby-time extrapolation."""
+        if self.horizon_ms == 0:
+            return 0.0
+        return self.total_mj * 1_000.0 / self.horizon_ms
+
+
+def account(trace: SimulationTrace, model: PowerModel) -> EnergyBreakdown:
+    """Compute the full energy breakdown of one run."""
+    awake_ms = trace.total_awake_ms()
+    sleep_ms = trace.total_sleep_ms()
+    components: Dict[Component, ComponentEnergy] = {}
+    for component in trace.wakelocks.components():
+        activations = trace.wakelocks.activations(component)
+        hold_ms = trace.wakelocks.hold_ms(component)
+        components[component] = ComponentEnergy(
+            activations=activations,
+            hold_ms=hold_ms,
+            activation_mj=model.activation_energy_mj(component, activations),
+            hold_mj=model.hold_energy_mj(component, hold_ms),
+        )
+    return EnergyBreakdown(
+        policy_name=trace.policy_name,
+        horizon_ms=trace.horizon,
+        sleep_ms=sleep_ms,
+        awake_ms=awake_ms,
+        wake_count=trace.wake_count(),
+        sleep_mj=model.sleep_energy_mj(sleep_ms),
+        awake_base_mj=model.awake_base_energy_mj(awake_ms),
+        wake_transitions_mj=model.wake_transitions_energy_mj(trace.wake_count()),
+        components=components,
+    )
+
+
+def delivery_energy_mj(trace: SimulationTrace, model: PowerModel) -> float:
+    """The paper's Sec. 2.2 'delivery energy': wake transitions plus
+    hardware activation and hold energy, ignoring base/sleep power.
+
+    With zero task durations this reproduces the motivating example's
+    7,520 mJ (NATIVE) vs 4,050 mJ (SIMTY) figures exactly.
+    """
+    breakdown = account(trace, model)
+    return breakdown.wake_transitions_mj + breakdown.hardware_mj
+
+
+def savings_fraction(baseline: EnergyBreakdown, improved: EnergyBreakdown) -> float:
+    """Fraction of the baseline's *total* energy saved by ``improved``."""
+    if baseline.total_mj == 0:
+        return 0.0
+    return (baseline.total_mj - improved.total_mj) / baseline.total_mj
+
+
+def awake_savings_fraction(
+    baseline: EnergyBreakdown, improved: EnergyBreakdown
+) -> float:
+    """Fraction of the baseline's *awake* energy saved (Fig. 3 discussion:
+    "savings greater than 33% of the energy required by NATIVE" to keep the
+    smartphone awake)."""
+    if baseline.awake_mj == 0:
+        return 0.0
+    return (baseline.awake_mj - improved.awake_mj) / baseline.awake_mj

@@ -1,0 +1,55 @@
+"""Battery model and standby-time extrapolation.
+
+The paper's headline claim: the saved energy "is sufficient for SIMTY to
+prolong the smartphone's standby time by one-fourth to one-third" (Sec. 4.2).
+Standby time here is the time to drain a full battery at the run's average
+power; the *extension* is the ratio of standby times, which equals the ratio
+of average powers and is therefore independent of the battery size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import EnergyBreakdown
+from .model import PowerModel
+from .profiles import NEXUS5_BATTERY_MJ
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An ideal battery with fixed usable capacity."""
+
+    capacity_mj: float = NEXUS5_BATTERY_MJ
+
+    def __post_init__(self) -> None:
+        if self.capacity_mj <= 0:
+            raise ValueError("battery capacity must be positive")
+
+    def standby_time_hours(self, average_power_mw: float) -> float:
+        """Hours of connected standby at the given average power."""
+        if average_power_mw <= 0:
+            return float("inf")
+        return self.capacity_mj / average_power_mw / 3_600.0
+
+    def standby_time_for(self, breakdown: EnergyBreakdown) -> float:
+        return self.standby_time_hours(breakdown.average_power_mw)
+
+
+def battery_for(model: PowerModel) -> Battery:
+    """The battery bundled with a power profile."""
+    capacity = model.battery_capacity_mj or NEXUS5_BATTERY_MJ
+    return Battery(capacity_mj=capacity)
+
+
+def standby_extension(
+    baseline: EnergyBreakdown, improved: EnergyBreakdown
+) -> float:
+    """Relative standby-time extension of ``improved`` over ``baseline``.
+
+    0.25 means "standby lasts 25% longer" — the paper reports one-fourth to
+    one-third for SIMTY over NATIVE.
+    """
+    if improved.average_power_mw <= 0:
+        return float("inf")
+    return baseline.average_power_mw / improved.average_power_mw - 1.0

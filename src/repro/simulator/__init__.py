@@ -1,0 +1,66 @@
+"""Discrete-event alarm-manager simulator (the evaluation substrate).
+
+Replaces the paper's instrumented Android framework + LG Nexus 5 testbed
+(see DESIGN.md, substitution table) while implementing exactly the insert /
+reinsert / deliver semantics of Secs. 2.1 and 3.2.
+"""
+
+from .alarm_manager import AlarmManager
+from .android_api import (
+    ANDROID_DEFAULT_ALPHA,
+    DEFAULT_GRACE_FRACTION,
+    AndroidAlarmManagerFacade,
+)
+from .clock import VirtualClock
+from .device import DEFAULT_TAIL_MS, Device, WakeReason, WakeSession
+from .engine import Simulator, SimulatorConfig, simulate
+from .events import Event, EventKind, event_log
+from .external import ExternalWake, poisson_wakes, schedule
+from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
+from .serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from .tasks import TaskExecution, component_hold_times, schedule_batch_tasks
+from .trace import (
+    AlarmDeliveryRecord,
+    BatchRecord,
+    RegistrationRecord,
+    SimulationTrace,
+    snapshot_delivery,
+)
+from .wakelock import ComponentUsage, WakelockLedger
+
+__all__ = [
+    "AlarmManager",
+    "AndroidAlarmManagerFacade",
+    "ANDROID_DEFAULT_ALPHA",
+    "DEFAULT_GRACE_FRACTION",
+    "VirtualClock",
+    "Device",
+    "WakeReason",
+    "WakeSession",
+    "DEFAULT_TAIL_MS",
+    "Simulator",
+    "SimulatorConfig",
+    "simulate",
+    "Event",
+    "EventKind",
+    "event_log",
+    "ExternalWake",
+    "poisson_wakes",
+    "schedule",
+    "RealTimeClock",
+    "DEFAULT_WAKE_LATENCY_MS",
+    "load_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "TaskExecution",
+    "component_hold_times",
+    "schedule_batch_tasks",
+    "AlarmDeliveryRecord",
+    "BatchRecord",
+    "RegistrationRecord",
+    "SimulationTrace",
+    "snapshot_delivery",
+    "ComponentUsage",
+    "WakelockLedger",
+]

@@ -1,0 +1,63 @@
+"""The alarm manager: registration, alignment dispatch and delivery queues.
+
+Mirrors Android's ``AlarmManager`` role in Figure 1: apps register alarms
+with delivery-time attributes; the manager aligns them into queue entries via
+the configured policy; the engine asks for due entries and hands back
+repeating alarms for reinsertion.  Wakeup and non-wakeup alarms live in
+separate queues and are aligned separately (Sec. 2.1, 3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.alarm import Alarm
+from ..core.entry import QueueEntry
+from ..core.policy import AlignmentPolicy
+from ..core.queue import AlarmQueue
+
+
+class AlarmManager:
+    """Policy-driven alarm registration and queueing."""
+
+    def __init__(self, policy: AlignmentPolicy) -> None:
+        self.policy = policy
+        self.wakeup_queue: AlarmQueue = policy.make_queue()
+        self.nonwakeup_queue: AlarmQueue = policy.make_queue()
+
+    def queue_for(self, alarm: Alarm) -> AlarmQueue:
+        """The queue an alarm belongs to (wakeup vs non-wakeup)."""
+        return self.wakeup_queue if alarm.wakeup else self.nonwakeup_queue
+
+    # ------------------------------------------------------------------
+    # App-facing operations
+    # ------------------------------------------------------------------
+    def register(self, alarm: Alarm, now: int) -> QueueEntry:
+        """Insert a newly registered (or re-registered) alarm."""
+        return self.policy.insert(self.queue_for(alarm), alarm, now)
+
+    def cancel(self, alarm: Alarm) -> bool:
+        """Remove an alarm from its queue; True when it was queued."""
+        return self.queue_for(alarm).remove_alarm(alarm) is not None
+
+    # ------------------------------------------------------------------
+    # Engine-facing operations
+    # ------------------------------------------------------------------
+    def reinsert(self, alarm: Alarm, now: int) -> QueueEntry:
+        """Re-queue a repeating alarm right after its delivery (Sec. 2.1)."""
+        return self.policy.reinsert(self.queue_for(alarm), alarm, now)
+
+    def next_wakeup_time(self) -> Optional[int]:
+        return self.wakeup_queue.next_delivery_time()
+
+    def next_nonwakeup_time(self) -> Optional[int]:
+        return self.nonwakeup_queue.next_delivery_time()
+
+    def pop_due_wakeup(self, now: int) -> Optional[QueueEntry]:
+        return self.wakeup_queue.pop_due(now)
+
+    def pop_due_nonwakeup(self, now: int) -> Optional[QueueEntry]:
+        return self.nonwakeup_queue.pop_due(now)
+
+    def pending_alarm_count(self) -> int:
+        return self.wakeup_queue.alarm_count() + self.nonwakeup_queue.alarm_count()

@@ -1,0 +1,219 @@
+"""An Android-flavoured facade over the alarm manager.
+
+Downstream users coming from Android know ``AlarmManager``'s surface:
+``set``, ``setWindow``, ``setRepeating``, ``setInexactRepeating``,
+``cancel``.  This module maps those calls (and their semantics, including
+the 4.4+ default ``alpha = 0.75`` inexactness and the API-19 behaviour that
+``setRepeating`` became inexact) onto the library's :class:`Alarm` model,
+so Android call sites translate one-to-one into simulations.
+
+Times are milliseconds since boot (= simulation start), mirroring
+``AlarmManager.ELAPSED_REALTIME``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.alarm import Alarm, RepeatKind
+from ..core.hardware import HardwareSet
+from .engine import Simulator
+
+#: Android's default inexactness for repeating alarms (paper footnote 6).
+ANDROID_DEFAULT_ALPHA = 0.75
+
+#: The paper's experimental grace fraction (Sec. 4.1).
+DEFAULT_GRACE_FRACTION = 0.96
+
+
+@dataclass
+class AndroidAlarmManagerFacade:
+    """Collects Android-style registrations and applies them to a simulator.
+
+    The facade is a registration *recorder*: build it, make Android-style
+    calls, then :meth:`apply` everything onto a :class:`Simulator` before
+    the run starts.  ``grace_fraction`` is SIMTY's addition — the Android
+    API has no such parameter, so it is configured facade-wide, just as the
+    authors patched it into the framework.
+    """
+
+    grace_fraction: float = DEFAULT_GRACE_FRACTION
+    _alarms: List[Alarm] = field(default_factory=list)
+    _by_tag: Dict[str, Alarm] = field(default_factory=dict)
+    _cancelled: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Android API surface
+    # ------------------------------------------------------------------
+    def set(
+        self,
+        trigger_at_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+    ) -> Alarm:
+        """``AlarmManager.set``: an inexact one-shot (API 19+ semantics).
+
+        Inexactness gives the system a window; Android's implementation
+        uses a 75 % heuristic of the delay, bounded below at 10 s — we use
+        a flat 60 s window, the common case for short one-shots.
+        """
+        return self.set_window(
+            trigger_at_ms, window_length_ms=60_000, tag=tag, wakeup=wakeup,
+            hardware=hardware, task_duration=task_duration,
+        )
+
+    def set_exact(
+        self,
+        trigger_at_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+    ) -> Alarm:
+        """``AlarmManager.setExact``: a zero-window one-shot."""
+        return self.set_window(
+            trigger_at_ms, window_length_ms=0, tag=tag, wakeup=wakeup,
+            hardware=hardware, task_duration=task_duration,
+        )
+
+    def set_window(
+        self,
+        window_start_ms: int,
+        window_length_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+    ) -> Alarm:
+        """``AlarmManager.setWindow``: one-shot with an explicit window."""
+        alarm = Alarm(
+            app=tag,
+            label=tag,
+            nominal_time=window_start_ms,
+            repeat_interval=0,
+            window_length=window_length_ms,
+            grace_length=window_length_ms,
+            repeat_kind=RepeatKind.ONE_SHOT,
+            wakeup=wakeup,
+            hardware=hardware,
+            task_duration=task_duration,
+        )
+        self._register(tag, alarm)
+        return alarm
+
+    def set_repeating(
+        self,
+        trigger_at_ms: int,
+        interval_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+        dynamic: bool = False,
+    ) -> Alarm:
+        """``AlarmManager.setRepeating``: inexact as of API 19.
+
+        ``dynamic`` selects the re-appointed flavour (apps that cancel and
+        re-set from their receiver rather than relying on the fixed grid).
+        """
+        return self._repeating(
+            trigger_at_ms, interval_ms, ANDROID_DEFAULT_ALPHA, tag,
+            wakeup, hardware, task_duration, dynamic,
+        )
+
+    def set_inexact_repeating(
+        self,
+        trigger_at_ms: int,
+        interval_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+        dynamic: bool = False,
+    ) -> Alarm:
+        """``AlarmManager.setInexactRepeating`` (alias post-API 19)."""
+        return self.set_repeating(
+            trigger_at_ms, interval_ms, tag, wakeup, hardware,
+            task_duration, dynamic,
+        )
+
+    def set_exact_repeating(
+        self,
+        trigger_at_ms: int,
+        interval_ms: int,
+        tag: str,
+        wakeup: bool = True,
+        hardware: HardwareSet = HardwareSet(),
+        task_duration: int = 0,
+        dynamic: bool = False,
+    ) -> Alarm:
+        """Pre-API-19 ``setRepeating``: exact grid, zero window."""
+        return self._repeating(
+            trigger_at_ms, interval_ms, 0.0, tag, wakeup, hardware,
+            task_duration, dynamic,
+        )
+
+    def cancel(self, tag: str) -> None:
+        """``AlarmManager.cancel``: drop the pending alarm with this tag."""
+        if tag not in self._by_tag:
+            return
+        self._cancelled.append(tag)
+
+    # ------------------------------------------------------------------
+    # Simulation hookup
+    # ------------------------------------------------------------------
+    def apply(self, simulator: Simulator, cancel_at_ms: int = 0) -> None:
+        """Register everything (and any cancellations) on a simulator."""
+        for alarm in self._alarms:
+            simulator.add_alarm(alarm, at=0)
+        for tag in self._cancelled:
+            simulator.cancel_alarm(self._by_tag[tag], at=cancel_at_ms)
+
+    def pending_tags(self) -> List[str]:
+        cancelled = set(self._cancelled)
+        return [
+            alarm.label for alarm in self._alarms
+            if alarm.label not in cancelled
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _repeating(
+        self,
+        trigger_at_ms: int,
+        interval_ms: int,
+        alpha: float,
+        tag: str,
+        wakeup: bool,
+        hardware: HardwareSet,
+        task_duration: int,
+        dynamic: bool,
+    ) -> Alarm:
+        grace = max(alpha, self.grace_fraction)
+        alarm = Alarm(
+            app=tag,
+            label=tag,
+            nominal_time=trigger_at_ms,
+            repeat_interval=interval_ms,
+            window_fraction=alpha,
+            grace_fraction=grace,
+            repeat_kind=RepeatKind.DYNAMIC if dynamic else RepeatKind.STATIC,
+            wakeup=wakeup,
+            hardware=hardware,
+            task_duration=task_duration,
+        )
+        self._register(tag, alarm)
+        return alarm
+
+    def _register(self, tag: str, alarm: Alarm) -> None:
+        if tag in self._by_tag:
+            raise ValueError(
+                f"tag {tag!r} already registered; cancel it first or use a "
+                "distinct tag per pending alarm, as PendingIntents require"
+            )
+        self._alarms.append(alarm)
+        self._by_tag[tag] = alarm

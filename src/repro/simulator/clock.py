@@ -1,0 +1,42 @@
+"""Virtual simulation clock.
+
+Time is integer milliseconds from the start of the run.  The clock only
+moves forward; the engine is responsible for choosing the next instant.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic millisecond clock for the discrete-event engine."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks (milliseconds)."""
+        return self._now
+
+    def advance_to(self, instant: int) -> None:
+        """Move the clock forward to ``instant``.
+
+        Moving backwards indicates an engine bug and raises immediately
+        rather than corrupting downstream energy accounting.
+        """
+        if instant < self._now:
+            raise ValueError(
+                f"clock cannot move backwards ({self._now} -> {instant})"
+            )
+        self._now = instant
+
+    def advance_by(self, delta: int) -> None:
+        """Move the clock forward by ``delta`` ticks."""
+        if delta < 0:
+            raise ValueError("cannot advance by a negative delta")
+        self._now += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now})"

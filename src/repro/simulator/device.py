@@ -1,0 +1,129 @@
+"""Device sleep/wake state machine.
+
+Mobile systems use an "aggressive sleeping philosophy" (Sec. 2.1): the device
+is asleep unless an alarm (or external event) wakes it.  After the last task
+of a wake session finishes, the device lingers awake for a short *tail*
+(kernel timers, network teardown) before suspending again — the same effect
+that makes short email syncs expensive in the paper's motivation.
+
+The device records every wake session so the power model can integrate
+awake-time energy after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+#: Default awake tail after the last task completes (ticks).
+DEFAULT_TAIL_MS = 700
+
+
+class WakeReason(Enum):
+    """Why a wake session started."""
+
+    ALARM = "alarm"
+    EXTERNAL = "external"
+
+
+@dataclass
+class WakeSession:
+    """One contiguous awake period."""
+
+    start: int
+    reason: WakeReason
+    end: Optional[int] = None
+    batches: int = 0
+
+    @property
+    def duration(self) -> int:
+        if self.end is None:
+            raise ValueError("session still open")
+        return self.end - self.start
+
+
+@dataclass
+class Device:
+    """Sleep/wake state with busy-time and tail accounting."""
+
+    tail_ms: int = DEFAULT_TAIL_MS
+    awake: bool = False
+    busy_until: int = 0
+    sessions: List[WakeSession] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tail_ms < 0:
+            raise ValueError("tail must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def wake(self, now: int, reason: WakeReason) -> None:
+        """Begin a wake session at ``now`` (no-op when already awake)."""
+        if self.awake:
+            return
+        self.awake = True
+        self.busy_until = now
+        self.sessions.append(WakeSession(start=now, reason=reason))
+
+    def extend_busy(self, now: int, duration: int) -> int:
+        """Account ``duration`` ticks of task execution starting at ``now``.
+
+        Tasks within one session serialize on the CPU; returns the time at
+        which the newly added work completes.
+        """
+        if not self.awake:
+            raise RuntimeError("cannot run tasks while asleep")
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.busy_until = max(self.busy_until, now) + duration
+        return self.busy_until
+
+    @property
+    def sleep_at(self) -> int:
+        """The instant the device will suspend if nothing else happens."""
+        if not self.awake:
+            raise RuntimeError("device is already asleep")
+        return self.busy_until + self.tail_ms
+
+    def try_sleep(self, now: int) -> bool:
+        """Suspend if the tail has fully elapsed; returns True on sleep."""
+        if not self.awake:
+            return False
+        if now < self.sleep_at:
+            return False
+        self._close_session(self.sleep_at)
+        return True
+
+    def force_sleep(self, now: int) -> None:
+        """Suspend immediately (used when the horizon ends mid-session)."""
+        if not self.awake:
+            return
+        self._close_session(now)
+
+    def _close_session(self, end: int) -> None:
+        self.awake = False
+        session = self.sessions[-1]
+        session.end = end
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note_batch(self) -> None:
+        """Record that the current session delivered one batch."""
+        if not self.sessions or self.sessions[-1].end is not None:
+            raise RuntimeError("no open wake session")
+        self.sessions[-1].batches += 1
+
+    def total_awake_ms(self, horizon: int) -> int:
+        """Total awake time over the run, clipping an open session at horizon."""
+        total = 0
+        for session in self.sessions:
+            end = session.end if session.end is not None else horizon
+            total += min(end, horizon) - min(session.start, horizon)
+        return total
+
+    def wake_count(self) -> int:
+        """Number of wake transitions (Table 4's CPU row counts these)."""
+        return len(self.sessions)

@@ -1,0 +1,292 @@
+"""The discrete-event simulation engine.
+
+Drives the virtual clock through alarm registrations, RTC fires, batch
+deliveries, non-wakeup catch-up deliveries, external wakes and device sleep
+transitions, producing a :class:`~repro.simulator.trace.SimulationTrace`.
+
+The engine is policy-agnostic: the same loop evaluates NATIVE, SIMTY, the
+EXACT baseline and any custom :class:`~repro.core.policy.AlignmentPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.alarm import Alarm
+from ..core.entry import QueueEntry
+from ..core.policy import AlignmentPolicy
+from ..core.units import THREE_HOURS_MS
+from .alarm_manager import AlarmManager
+from .clock import VirtualClock
+from .device import DEFAULT_TAIL_MS, Device, WakeReason
+from .external import ExternalWake
+from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
+from .tasks import component_hold_times, schedule_batch_tasks
+from .trace import BatchRecord, RegistrationRecord, SimulationTrace, snapshot_delivery
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Tunable device/runtime parameters (see DESIGN.md calibration notes)."""
+
+    horizon: int = THREE_HOURS_MS
+    wake_latency_ms: int = DEFAULT_WAKE_LATENCY_MS
+    tail_ms: int = DEFAULT_TAIL_MS
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+
+@dataclass(order=True)
+class _PendingRegistration:
+    time: int
+    sequence: int
+    alarm: Alarm = field(compare=False)
+
+
+class Simulator:
+    """One simulation run: a policy, a device, and a set of alarms."""
+
+    def __init__(
+        self,
+        policy: AlignmentPolicy,
+        config: Optional[SimulatorConfig] = None,
+        external_events: Iterable[ExternalWake] = (),
+    ) -> None:
+        self.config = config or SimulatorConfig()
+        self.policy = policy
+        self.manager = AlarmManager(policy)
+        self.clock = VirtualClock()
+        self.device = Device(tail_ms=self.config.tail_ms)
+        self.rtc = RealTimeClock(self.config.wake_latency_ms)
+        self.trace = SimulationTrace(
+            policy_name=policy.name, horizon=self.config.horizon
+        )
+        self._registrations: List[_PendingRegistration] = []
+        self._registration_seq = 0
+        self._cancellations: List[_PendingRegistration] = []
+        self._cancellation_index = 0
+        self._externals: List[ExternalWake] = sorted(
+            external_events, key=lambda event: event.time
+        )
+        self._external_index = 0
+        self._batch_index = 0
+        self._session_fresh = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_alarm(self, alarm: Alarm, at: int = 0) -> None:
+        """Schedule ``alarm`` to be registered at simulation time ``at``."""
+        if at < 0:
+            raise ValueError("registration time must be non-negative")
+        self._registrations.append(
+            _PendingRegistration(at, self._registration_seq, alarm)
+        )
+        self._registration_seq += 1
+
+    def add_alarms(self, alarms: Iterable[Alarm], at: int = 0) -> None:
+        for alarm in alarms:
+            self.add_alarm(alarm, at)
+
+    def cancel_alarm(self, alarm: Alarm, at: int) -> None:
+        """Schedule an app-side cancellation of ``alarm`` at time ``at``.
+
+        Cancelling an alarm that is not queued at that moment (e.g. a
+        one-shot already delivered) is a no-op, as in Android.
+        """
+        if at < 0:
+            raise ValueError("cancellation time must be non-negative")
+        self._cancellations.append(
+            _PendingRegistration(at, self._registration_seq, alarm)
+        )
+        self._registration_seq += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationTrace:
+        """Execute the run and return its trace. Single-use per instance."""
+        if self._ran:
+            raise RuntimeError("Simulator instances are single-use; build a new one")
+        self._ran = True
+        self._registrations.sort()
+        self._registration_index = 0
+        self._cancellations.sort()
+        horizon = self.config.horizon
+        while True:
+            instant = self._next_event_time()
+            if instant is None or instant >= horizon:
+                break
+            self.clock.advance_to(instant)
+            self._process_registrations()
+            self._process_cancellations()
+            self._process_externals()
+            self._deliver_due_wakeups()
+            if self.device.awake:
+                self._deliver_due_nonwakeups()
+                self.device.try_sleep(self.clock.now)
+        # A wake triggered just before the horizon can resume after it; the
+        # session closes at the real clock time and energy accounting clips
+        # at the horizon.
+        self.device.force_sleep(max(horizon, self.clock.now))
+        self.trace.sessions = self.device.sessions
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def _next_event_time(self) -> Optional[int]:
+        now = self.clock.now
+        candidates: List[int] = []
+        if self._registration_index < len(self._registrations):
+            candidates.append(
+                max(now, self._registrations[self._registration_index].time)
+            )
+        if self._cancellation_index < len(self._cancellations):
+            candidates.append(
+                max(now, self._cancellations[self._cancellation_index].time)
+            )
+        if self._external_index < len(self._externals):
+            candidates.append(
+                max(now, self._externals[self._external_index].time)
+            )
+        next_wakeup = self.manager.next_wakeup_time()
+        if next_wakeup is not None:
+            candidates.append(max(now, next_wakeup))
+        if self.device.awake:
+            candidates.append(self.device.sleep_at)
+            next_nonwakeup = self.manager.next_nonwakeup_time()
+            if next_nonwakeup is not None:
+                candidates.append(max(now, next_nonwakeup))
+        if not candidates:
+            return None
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def _process_registrations(self) -> None:
+        now = self.clock.now
+        while (
+            self._registration_index < len(self._registrations)
+            and self._registrations[self._registration_index].time <= now
+        ):
+            pending = self._registrations[self._registration_index]
+            self._registration_index += 1
+            self.manager.register(pending.alarm, now)
+            self.trace.registrations.append(
+                RegistrationRecord(
+                    time=now,
+                    alarm_id=pending.alarm.alarm_id,
+                    app=pending.alarm.app,
+                    label=pending.alarm.label,
+                    wakeup=pending.alarm.wakeup,
+                )
+            )
+
+    def _process_cancellations(self) -> None:
+        now = self.clock.now
+        while (
+            self._cancellation_index < len(self._cancellations)
+            and self._cancellations[self._cancellation_index].time <= now
+        ):
+            pending = self._cancellations[self._cancellation_index]
+            self._cancellation_index += 1
+            self.manager.cancel(pending.alarm)
+
+    def _process_externals(self) -> None:
+        now = self.clock.now
+        while (
+            self._external_index < len(self._externals)
+            and self._externals[self._external_index].time <= now
+        ):
+            event = self._externals[self._external_index]
+            self._external_index += 1
+            if not self.device.awake:
+                self.device.wake(now, WakeReason.EXTERNAL)
+                self._session_fresh = True
+            self.device.extend_busy(now, event.hold_ms)
+
+    def _deliver_due_wakeups(self) -> None:
+        due_time = self.manager.next_wakeup_time()
+        if due_time is None or due_time > self.clock.now:
+            return
+        if not self.device.awake:
+            # RTC interrupt: the device needs wake_latency_ms before the
+            # alarm manager runs; the latency shows up as delivery delay
+            # (the Fig. 4 NATIVE artifact for alpha = 0 alarms).
+            fire_time = self.clock.now
+            self.device.wake(fire_time, WakeReason.ALARM)
+            self._session_fresh = True
+            resume = self.rtc.resume_time(fire_time, device_awake=False)
+            self.device.extend_busy(fire_time, resume - fire_time)
+            self.clock.advance_to(resume)
+        while True:
+            scheduled = self.manager.next_wakeup_time()
+            if scheduled is None or scheduled > self.clock.now:
+                break
+            entry = self.manager.pop_due_wakeup(self.clock.now)
+            assert entry is not None
+            self._deliver_entry(entry, scheduled)
+
+    def _deliver_due_nonwakeups(self) -> None:
+        while True:
+            scheduled = self.manager.next_nonwakeup_time()
+            if scheduled is None or scheduled > self.clock.now:
+                break
+            entry = self.manager.pop_due_nonwakeup(self.clock.now)
+            assert entry is not None
+            self._deliver_entry(entry, scheduled)
+
+    def _deliver_entry(self, entry: QueueEntry, scheduled: int) -> None:
+        now = self.clock.now
+        woke = self._session_fresh
+        self._session_fresh = False
+        self.device.note_batch()
+        tasks = schedule_batch_tasks(entry.alarms, start=now)
+        total_busy = sum(task.duration for task in tasks)
+        # A task whose wakelock outlives its CPU work (a no-sleep bug,
+        # Alarm.hold_duration) keeps the device up until the lock drops.
+        max_hold = max((task.hold for task in tasks), default=0)
+        self.device.extend_busy(now, max(total_busy, max_hold))
+        holds = component_hold_times(tasks)
+        self.trace.wakelocks.record_batch(holds)
+        records = []
+        repeats: List[Tuple[Alarm, bool]] = []
+        for alarm in entry:
+            records.append(snapshot_delivery(alarm, now, self._batch_index))
+            alarm.record_delivery(now)
+            repeats.append((alarm, alarm.reschedule(now)))
+        self.trace.batches.append(
+            BatchRecord(
+                index=self._batch_index,
+                scheduled_time=scheduled,
+                delivered_at=now,
+                woke_device=woke,
+                alarms=records,
+                tasks=tasks,
+                hardware_holds=holds,
+            )
+        )
+        self._batch_index += 1
+        # Reinsert after the batch record is sealed so a rebatch (NATIVE
+        # realignment) never mutates a delivered entry's snapshot.
+        for alarm, repeating in repeats:
+            if repeating:
+                self.manager.reinsert(alarm, now)
+
+
+def simulate(
+    policy: AlignmentPolicy,
+    alarms: Iterable[Alarm],
+    config: Optional[SimulatorConfig] = None,
+    external_events: Iterable[ExternalWake] = (),
+) -> SimulationTrace:
+    """Convenience one-shot runner: register ``alarms`` at t=0 and run."""
+    simulator = Simulator(policy, config=config, external_events=external_events)
+    simulator.add_alarms(alarms)
+    return simulator.run()

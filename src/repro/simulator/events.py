@@ -1,0 +1,79 @@
+"""Event-kind taxonomy for human-readable trace dumps.
+
+The structured records live in :mod:`repro.simulator.trace`; this module
+provides a flattened, chronological event-log view of a trace — handy for
+debugging alignment decisions and for the CLI's ``--dump-events`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .trace import SimulationTrace
+
+
+class EventKind(Enum):
+    REGISTER = "register"
+    WAKE = "wake"
+    BATCH = "batch"
+    DELIVER = "deliver"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One line of the chronological event log."""
+
+    time: int
+    kind: EventKind
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.time / 1000.0:10.3f}s  {self.kind.value:<8}  {self.detail}"
+
+
+def event_log(trace: SimulationTrace) -> List[Event]:
+    """Flatten a trace into a single chronological event list."""
+    events: List[Event] = []
+    for registration in trace.registrations:
+        events.append(
+            Event(
+                registration.time,
+                EventKind.REGISTER,
+                f"{registration.label} (wakeup={registration.wakeup})",
+            )
+        )
+    for session in trace.sessions:
+        events.append(
+            Event(session.start, EventKind.WAKE, f"reason={session.reason.value}")
+        )
+        if session.end is not None:
+            events.append(
+                Event(
+                    session.end,
+                    EventKind.SLEEP,
+                    f"after {session.batches} batch(es)",
+                )
+            )
+    for batch in trace.batches:
+        labels = ", ".join(record.label for record in batch.alarms)
+        events.append(
+            Event(
+                batch.delivered_at,
+                EventKind.BATCH,
+                f"#{batch.index} [{labels}]",
+            )
+        )
+        for record in batch.alarms:
+            events.append(
+                Event(
+                    record.delivered_at,
+                    EventKind.DELIVER,
+                    f"{record.label} nominal={record.nominal_time} "
+                    f"delay={record.window_delay}",
+                )
+            )
+    events.sort(key=lambda event: (event.time, event.kind.value))
+    return events

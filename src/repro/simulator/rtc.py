@@ -1,0 +1,36 @@
+"""Real-time-clock wake behaviour.
+
+When the device is asleep and the RTC fires, the SoC needs a non-zero time to
+resume the CPU, restore peripherals and hand control to the alarm manager.
+The paper observes this artifact directly (Sec. 4.2): alarms registered with
+``alpha = 0`` show a 0.4–0.6 % normalized delivery delay even under NATIVE
+because "the smartphone requires some time to awaken from sleep once the
+real-time clock triggers a hardware interrupt".
+
+We model it as a fixed wake-from-sleep latency; 350 ms reproduces the
+paper's reported range for the Table 3 alarm mix.
+"""
+
+from __future__ import annotations
+
+#: Default wake-from-sleep latency (ticks). See DESIGN.md calibration notes.
+DEFAULT_WAKE_LATENCY_MS = 350
+
+
+class RealTimeClock:
+    """Models the RTC's wake-from-sleep latency."""
+
+    def __init__(self, wake_latency_ms: int = DEFAULT_WAKE_LATENCY_MS) -> None:
+        if wake_latency_ms < 0:
+            raise ValueError("wake latency must be non-negative")
+        self.wake_latency_ms = wake_latency_ms
+
+    def resume_time(self, fire_time: int, device_awake: bool) -> int:
+        """When alarm processing can actually begin.
+
+        A fire while the device is already awake incurs no latency; a fire
+        from sleep pays the full resume cost.
+        """
+        if device_awake:
+            return fire_time
+        return fire_time + self.wake_latency_ms

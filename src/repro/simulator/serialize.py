@@ -1,0 +1,188 @@
+"""Trace serialization to and from plain JSON.
+
+Enables golden-trace regression tests, offline analysis in notebooks, and
+shipping recorded runs between machines.  The round trip is lossless for
+everything the metrics and power layers consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.alarm import RepeatKind
+from ..core.hardware import Component, HardwareSet
+from .device import WakeReason, WakeSession
+from .tasks import TaskExecution
+from .trace import (
+    AlarmDeliveryRecord,
+    BatchRecord,
+    RegistrationRecord,
+    SimulationTrace,
+)
+from .wakelock import ComponentUsage, WakelockLedger
+
+
+def _hardware_to_list(hardware: HardwareSet) -> List[str]:
+    return [component.value for component in hardware]
+
+
+def _hardware_from_list(values: List[str]) -> HardwareSet:
+    return HardwareSet(Component(value) for value in values)
+
+
+def trace_to_dict(trace: SimulationTrace) -> Dict:
+    """A JSON-serializable view of a trace."""
+    return {
+        "policy_name": trace.policy_name,
+        "horizon": trace.horizon,
+        "registrations": [
+            {
+                "time": r.time,
+                "alarm_id": r.alarm_id,
+                "app": r.app,
+                "label": r.label,
+                "wakeup": r.wakeup,
+            }
+            for r in trace.registrations
+        ],
+        "sessions": [
+            {
+                "start": s.start,
+                "end": s.end,
+                "reason": s.reason.value,
+                "batches": s.batches,
+            }
+            for s in trace.sessions
+        ],
+        "batches": [
+            {
+                "index": b.index,
+                "scheduled_time": b.scheduled_time,
+                "delivered_at": b.delivered_at,
+                "woke_device": b.woke_device,
+                "alarms": [
+                    {
+                        "alarm_id": a.alarm_id,
+                        "app": a.app,
+                        "label": a.label,
+                        "repeat_kind": a.repeat_kind.value,
+                        "repeat_interval": a.repeat_interval,
+                        "wakeup": a.wakeup,
+                        "perceptible": a.perceptible,
+                        "hardware": _hardware_to_list(a.hardware),
+                        "nominal_time": a.nominal_time,
+                        "window_end": a.window_end,
+                        "grace_end": a.grace_end,
+                        "delivered_at": a.delivered_at,
+                        "batch_index": a.batch_index,
+                    }
+                    for a in b.alarms
+                ],
+                "tasks": [
+                    {
+                        "alarm_id": t.alarm_id,
+                        "app": t.app,
+                        "label": t.label,
+                        "start": t.start,
+                        "duration": t.duration,
+                        "hold": t.hold,
+                        "hardware": _hardware_to_list(t.hardware),
+                    }
+                    for t in b.tasks
+                ],
+                "hardware_holds": {
+                    component.value: hold
+                    for component, hold in b.hardware_holds.items()
+                },
+            }
+            for b in trace.batches
+        ],
+        "wakelocks": {
+            component.value: {
+                "activations": usage.activations,
+                "hold_ms": usage.hold_ms,
+            }
+            for component, usage in trace.wakelocks.usage.items()
+        },
+    }
+
+
+def trace_from_dict(payload: Dict) -> SimulationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    trace = SimulationTrace(
+        policy_name=payload["policy_name"], horizon=payload["horizon"]
+    )
+    trace.registrations = [
+        RegistrationRecord(**entry) for entry in payload["registrations"]
+    ]
+    trace.sessions = [
+        WakeSession(
+            start=entry["start"],
+            end=entry["end"],
+            reason=WakeReason(entry["reason"]),
+            batches=entry["batches"],
+        )
+        for entry in payload["sessions"]
+    ]
+    trace.batches = [
+        BatchRecord(
+            index=entry["index"],
+            scheduled_time=entry["scheduled_time"],
+            delivered_at=entry["delivered_at"],
+            woke_device=entry["woke_device"],
+            alarms=[
+                AlarmDeliveryRecord(
+                    alarm_id=a["alarm_id"],
+                    app=a["app"],
+                    label=a["label"],
+                    repeat_kind=RepeatKind(a["repeat_kind"]),
+                    repeat_interval=a["repeat_interval"],
+                    wakeup=a["wakeup"],
+                    perceptible=a["perceptible"],
+                    hardware=_hardware_from_list(a["hardware"]),
+                    nominal_time=a["nominal_time"],
+                    window_end=a["window_end"],
+                    grace_end=a["grace_end"],
+                    delivered_at=a["delivered_at"],
+                    batch_index=a["batch_index"],
+                )
+                for a in entry["alarms"]
+            ],
+            tasks=[
+                TaskExecution(
+                    alarm_id=t["alarm_id"],
+                    app=t["app"],
+                    label=t["label"],
+                    start=t["start"],
+                    duration=t["duration"],
+                    hold=t["hold"],
+                    hardware=_hardware_from_list(t["hardware"]),
+                )
+                for t in entry["tasks"]
+            ],
+            hardware_holds={
+                Component(value): hold
+                for value, hold in entry["hardware_holds"].items()
+            },
+        )
+        for entry in payload["batches"]
+    ]
+    ledger = WakelockLedger()
+    for value, usage in payload["wakelocks"].items():
+        ledger.usage[Component(value)] = ComponentUsage(
+            activations=usage["activations"], hold_ms=usage["hold_ms"]
+        )
+    trace.wakelocks = ledger
+    return trace
+
+
+def save_trace(trace: SimulationTrace, path: Union[str, Path]) -> None:
+    """Write a trace as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> SimulationTrace:
+    """Read a trace saved by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

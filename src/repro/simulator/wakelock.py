@@ -1,0 +1,47 @@
+"""Run-level wakelock ledger.
+
+Aggregates, per hardware component, how many batches *activated* it and for
+how long it was held in total.  Table 4's per-hardware rows are exactly the
+activation counts of the major alarms; the power model consumes both the
+activation counts and the hold times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..core.hardware import Component
+
+
+@dataclass
+class ComponentUsage:
+    """Aggregate usage of a single component over a run."""
+
+    activations: int = 0
+    hold_ms: int = 0
+
+
+@dataclass
+class WakelockLedger:
+    """Per-component activation and hold-time totals."""
+
+    usage: Dict[Component, ComponentUsage] = field(default_factory=dict)
+
+    def record_batch(self, holds: Mapping[Component, int]) -> None:
+        """Charge one activation per distinct component plus its hold time."""
+        for component, hold_ms in holds.items():
+            entry = self.usage.setdefault(component, ComponentUsage())
+            entry.activations += 1
+            entry.hold_ms += hold_ms
+
+    def activations(self, component: Component) -> int:
+        entry = self.usage.get(component)
+        return entry.activations if entry else 0
+
+    def hold_ms(self, component: Component) -> int:
+        entry = self.usage.get(component)
+        return entry.hold_ms if entry else 0
+
+    def components(self):
+        return self.usage.keys()

@@ -1,0 +1,69 @@
+"""Workloads: the Table 3 catalog, evaluation scenarios and generators."""
+
+from .apps import (
+    ANDROID_DEFAULT_ALPHA,
+    PAPER_BETA,
+    TABLE3_APPS,
+    AppSpec,
+    app_by_name,
+    heavy_apps,
+    light_apps,
+)
+from .scenarios import (
+    SCENARIOS,
+    BackgroundConfig,
+    Registration,
+    ScenarioConfig,
+    Workload,
+    background_registrations,
+    build_heavy,
+    build_light,
+    major_registrations,
+)
+from .diurnal import DiurnalConfig, build_diurnal, interactive_sessions
+from .faults import inject_jitter, inject_no_sleep_bug, inject_storm
+from .push import convert_to_push
+from .synthetic import DEFAULT_HARDWARE_POOL, SyntheticConfig, generate
+from .traces import (
+    LoggedAlarm,
+    load_log,
+    log_from_trace,
+    replay_registrations,
+    replay_workload,
+    save_log,
+)
+
+__all__ = [
+    "ANDROID_DEFAULT_ALPHA",
+    "PAPER_BETA",
+    "TABLE3_APPS",
+    "AppSpec",
+    "app_by_name",
+    "heavy_apps",
+    "light_apps",
+    "SCENARIOS",
+    "BackgroundConfig",
+    "Registration",
+    "ScenarioConfig",
+    "Workload",
+    "background_registrations",
+    "build_heavy",
+    "build_light",
+    "major_registrations",
+    "DiurnalConfig",
+    "build_diurnal",
+    "interactive_sessions",
+    "inject_jitter",
+    "inject_no_sleep_bug",
+    "inject_storm",
+    "convert_to_push",
+    "DEFAULT_HARDWARE_POOL",
+    "SyntheticConfig",
+    "generate",
+    "LoggedAlarm",
+    "load_log",
+    "log_from_trace",
+    "replay_registrations",
+    "replay_workload",
+    "save_log",
+]

@@ -1,0 +1,87 @@
+"""Fault injection: no-sleep bugs and misbehaving apps.
+
+Mutates a built workload to exhibit the pathologies the paper's related
+work catalogues, so detectors (:mod:`repro.metrics.anomaly`) and the
+robustness of alignment policies can be exercised:
+
+* :func:`inject_no_sleep_bug` — an app's tasks keep their wakelocks far
+  beyond the task duration ("what is keeping my phone awake?");
+* :func:`inject_jitter` — an app's nominal times drift randomly, modelling
+  the irregular apps the authors had to imitate (Table 3's ``*`` rows);
+* :func:`inject_storm` — an app re-registers its alarm at a much shorter
+  interval, modelling a misconfigured retry loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.alarm import Alarm
+from .scenarios import Registration, Workload
+
+
+def _app_alarms(workload: Workload, app: str) -> List[Alarm]:
+    alarms = [
+        registration.alarm
+        for registration in workload.registrations
+        if registration.alarm.app == app
+    ]
+    if not alarms:
+        raise KeyError(f"workload has no app named {app!r}")
+    return alarms
+
+
+def inject_no_sleep_bug(
+    workload: Workload, app: str, hold_ms: int
+) -> Workload:
+    """Make ``app``'s tasks hold their wakelocks for ``hold_ms``.
+
+    Returns the same workload (mutated in place) for chaining.
+    """
+    for alarm in _app_alarms(workload, app):
+        if hold_ms < alarm.task_duration:
+            raise ValueError("hold must be at least the task duration")
+        alarm.hold_duration = hold_ms
+    return workload
+
+
+def inject_jitter(
+    workload: Workload, app: str, jitter_ms: int, seed: int = 0
+) -> Workload:
+    """Randomly shift ``app``'s first nominal time by up to ``jitter_ms``.
+
+    Models the irregular registration behaviour of the imitated apps; the
+    repeating grid then drifts with the shifted origin.
+    """
+    rng = random.Random(seed)
+    for alarm in _app_alarms(workload, app):
+        shift = rng.randint(0, jitter_ms)
+        alarm.nominal_time += shift
+    return workload
+
+
+def inject_storm(
+    workload: Workload, app: str, interval_divisor: int
+) -> Workload:
+    """Shrink ``app``'s repeating interval by ``interval_divisor``.
+
+    Window and grace lengths shrink proportionally so the alarm stays
+    valid; the result is an alarm storm (e.g. a retry loop gone wrong).
+    """
+    if interval_divisor <= 1:
+        raise ValueError("divisor must exceed 1")
+    for alarm in _app_alarms(workload, app):
+        if not alarm.is_repeating:
+            continue
+        alarm.repeat_interval //= interval_divisor
+        alarm.window_length //= interval_divisor
+        alarm.grace_length //= interval_divisor
+        if alarm.repeat_interval <= 0:
+            raise ValueError("divisor too large for this alarm's interval")
+    return workload
+
+
+def fault_registrations(workload: Workload) -> List[Registration]:
+    """The workload's registrations (alias that reads well at call sites)."""
+    return workload.registrations

@@ -1,0 +1,88 @@
+"""Push-vs-poll conversion (the footnote-1 GCM channel).
+
+The paper's AlarmManager handles wakeups for *internal* periodic tasks,
+while Google Cloud Messaging delivers *external* messages; the two are
+orthogonal (footnote 1).  This module converts a polling app into its push
+equivalent so the trade-off can be studied with the same machinery:
+
+* the app's repeating alarm is removed;
+* in its place, a seeded Poisson stream of **one-shot, zero-window wakeup
+  alarms** models message arrivals with the same mean rate (or any other),
+  using the app's hardware and task profile.
+
+Push arrivals are user-triggered content, so they cannot be postponed —
+zero windows make every policy deliver them immediately, which is exactly
+why a phone full of push-driven messengers still wakes constantly and why
+alignment of the remaining periodic work matters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.alarm import Alarm, RepeatKind
+from .scenarios import Registration, Workload
+
+
+def convert_to_push(
+    workload: Workload,
+    app: str,
+    mean_interarrival_ms: Optional[int] = None,
+    seed: int = 0,
+    lead_ms: int = 1_000,
+) -> Workload:
+    """Replace ``app``'s polling alarms with a push-message stream.
+
+    ``mean_interarrival_ms`` defaults to the app's repeating interval, i.e.
+    the same average wakeup rate as polling.  Returns the same workload,
+    mutated, for chaining.
+    """
+    originals = [
+        registration
+        for registration in workload.registrations
+        if registration.alarm.app == app
+    ]
+    if not originals:
+        raise KeyError(f"workload has no app named {app!r}")
+    template = originals[0].alarm
+    if mean_interarrival_ms is None:
+        if template.repeat_interval == 0:
+            raise ValueError(
+                "one-shot template has no rate; pass mean_interarrival_ms"
+            )
+        mean_interarrival_ms = template.repeat_interval
+
+    workload.registrations = [
+        registration
+        for registration in workload.registrations
+        if registration.alarm.app != app
+    ]
+
+    rng = random.Random(seed)
+    cursor = 0.0
+    index = 0
+    while True:
+        cursor += rng.expovariate(1.0 / mean_interarrival_ms)
+        arrival = int(cursor)
+        if arrival >= workload.horizon:
+            break
+        message = Alarm(
+            app=app,
+            label=f"push:{app}:{index}",
+            nominal_time=arrival,
+            repeat_interval=0,
+            window_length=0,
+            grace_length=0,
+            repeat_kind=RepeatKind.ONE_SHOT,
+            wakeup=True,
+            hardware=template.true_hardware,
+            hardware_known=True,
+            task_duration=template.task_duration,
+        )
+        workload.registrations.append(
+            Registration(time=max(0, arrival - lead_ms), alarm=message)
+        )
+        index += 1
+    workload.registrations.sort(key=lambda registration: registration.time)
+    return workload

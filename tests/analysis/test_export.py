@@ -1,0 +1,68 @@
+"""JSON export of evaluation artifacts."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_pair
+from repro.analysis.export import export_paper_results, paper_results
+from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    config = ScenarioConfig(horizon=900_000)
+    return {
+        workload: run_pair(workload, scenario_config=config)
+        for workload in ("light", "heavy")
+    }
+
+
+class TestPaperResults:
+    def test_document_structure(self, matrix):
+        document = paper_results(matrix)
+        assert set(document) == {
+            "meta",
+            "fig2_motivating_mj",
+            "fig3_energy",
+            "fig4_delay",
+            "table4_wakeups",
+            "headline",
+        }
+
+    def test_json_serializable(self, matrix):
+        json.dumps(paper_results(matrix))
+
+    def test_meta_carries_config(self, matrix):
+        config = ScenarioConfig(horizon=900_000, beta=0.9)
+        document = paper_results(matrix, scenario_config=config)
+        assert document["meta"]["beta"] == 0.9
+        assert document["meta"]["horizon_ms"] == 900_000
+
+    def test_fig2_values(self, matrix):
+        document = paper_results(matrix)
+        assert document["fig2_motivating_mj"]["NATIVE"] == pytest.approx(
+            7_520.0
+        )
+
+    def test_table4_cells_are_lists(self, matrix):
+        document = paper_results(matrix)
+        for row in document["table4_wakeups"]:
+            assert isinstance(row["CPU"], list)
+            assert len(row["CPU"]) == 2
+
+
+class TestExportFile:
+    def test_export_writes_file(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        document = export_paper_results(path, matrix)
+        loaded = json.loads(path.read_text())
+        assert loaded["headline"] == document["headline"]
+
+    def test_cli_json_flag(self, capsys, tmp_path, monkeypatch):
+        from repro.analysis.cli import main
+
+        path = tmp_path / "out.json"
+        assert main(["paper", "--json", str(path)]) == 0
+        assert path.exists()
+        assert "artifact data written" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Figure/table series generation."""
+
+import pytest
+
+from repro.analysis.experiments import run_pair
+from repro.analysis.figures import (
+    fig2_motivating,
+    fig3_energy,
+    fig4_delay,
+    standby_summary,
+    table4_wakeups,
+)
+from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    config = ScenarioConfig(horizon=900_000)
+    return {
+        workload: run_pair(workload, scenario_config=config)
+        for workload in ("light", "heavy")
+    }
+
+
+class TestFig2:
+    def test_matches_paper_exactly(self):
+        results = fig2_motivating()
+        assert results["NATIVE"] == pytest.approx(7_520.0)
+        assert results["SIMTY"] == pytest.approx(4_050.0)
+
+
+class TestFig3:
+    def test_rows(self, matrix):
+        rows = fig3_energy(matrix)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["total_j"] == pytest.approx(
+                row["sleep_j"] + row["awake_j"]
+            )
+            assert row["awake_j"] == pytest.approx(
+                row["awake_base_j"]
+                + row["wake_transitions_j"]
+                + row["hardware_j"]
+            )
+
+    def test_simty_totals_lower(self, matrix):
+        rows = {(r["workload"], r["policy"]): r for r in fig3_energy(matrix)}
+        for workload in ("light", "heavy"):
+            assert (
+                rows[(workload, "SIMTY")]["total_j"]
+                < rows[(workload, "NATIVE")]["total_j"]
+            )
+
+
+class TestFig4:
+    def test_perceptible_delays_zero(self, matrix):
+        for row in fig4_delay(matrix):
+            assert row["perceptible"] == pytest.approx(0.0, abs=1e-3)
+
+    def test_simty_imperceptible_delay_positive(self, matrix):
+        rows = {(r["workload"], r["policy"]): r for r in fig4_delay(matrix)}
+        for workload in ("light", "heavy"):
+            assert rows[(workload, "SIMTY")]["imperceptible"] > 0.01
+            assert rows[(workload, "NATIVE")]["imperceptible"] < 0.01
+
+
+class TestTable4:
+    def test_structure(self, matrix):
+        rows = table4_wakeups(matrix)
+        assert len(rows) == 4
+        for row in rows:
+            delivered, expected = row["CPU"]
+            assert 0 < delivered <= expected
+
+    def test_light_has_no_wps(self, matrix):
+        rows = {(r["workload"], r["policy"]): r for r in table4_wakeups(matrix)}
+        assert rows[("light", "NATIVE")]["WPS"] == (0, 0)
+        assert rows[("heavy", "NATIVE")]["WPS"][1] > 0
+
+
+class TestSummary:
+    def test_positive_savings(self, matrix):
+        for row in standby_summary(matrix):
+            assert row["total_savings"] > 0
+            assert row["awake_savings"] > row["total_savings"]
+            assert row["standby_extension"] > 0

@@ -1,0 +1,59 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.analysis.experiments import run_pair
+from repro.analysis.report import (
+    format_table,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_summary,
+    render_table4,
+)
+from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    config = ScenarioConfig(horizon=900_000)
+    return {"light": run_pair("light", scenario_config=config)}
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) <= len(lines[1]) for line in lines)
+
+    def test_headers_in_output(self):
+        text = format_table(("col1", "col2"), [("x", "y")])
+        assert "col1" in text and "col2" in text
+
+
+class TestRenderers:
+    def test_fig2_contains_paper_numbers(self):
+        text = render_fig2()
+        assert "7,520" in text
+        assert "4,050" in text
+
+    def test_fig3(self, matrix):
+        text = render_fig3(matrix)
+        assert "NATIVE" in text and "SIMTY" in text
+        assert "sleep" in text and "awake" in text
+
+    def test_fig4(self, matrix):
+        text = render_fig4(matrix)
+        assert "perceptible" in text and "imperceptible" in text
+
+    def test_table4(self, matrix):
+        text = render_table4(matrix)
+        assert "CPU" in text and "WIFI" in text
+        assert "/" in text  # delivered/expected cells
+
+    def test_summary(self, matrix):
+        text = render_summary(matrix)
+        assert "%" in text
+        assert "standby extension" in text

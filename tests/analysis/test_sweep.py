@@ -1,0 +1,106 @@
+"""Parameter sweeps and ablations."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    beta_sweep,
+    bucket_sweep,
+    classifier_sweep,
+    duration_sweep,
+    scale_sweep,
+    sensitivity_sweep,
+)
+
+
+class TestBetaSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return beta_sweep(workload="light", betas=(0.75, 0.96))
+
+    def test_row_structure(self, rows):
+        assert len(rows) == 2
+        assert {"beta", "wakeups", "total_savings", "imperceptible_delay"} <= (
+            set(rows[0])
+        )
+
+    def test_larger_beta_fewer_wakeups(self, rows):
+        assert rows[1]["wakeups"] <= rows[0]["wakeups"]
+
+    def test_larger_beta_more_delay(self, rows):
+        assert (
+            rows[1]["imperceptible_delay"] >= rows[0]["imperceptible_delay"]
+        )
+
+
+class TestClassifierSweep:
+    def test_all_variants_present(self):
+        rows = classifier_sweep(workload="heavy")
+        assert {row["classifier"] for row in rows} == {
+            "two-level",
+            "three-level",
+            "four-level",
+        }
+        for row in rows:
+            assert row["total_savings"] > 0
+
+
+class TestScaleSweep:
+    def test_savings_at_every_scale(self):
+        rows = scale_sweep(app_counts=(10, 25))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["simty_wakeups"] <= row["native_wakeups"]
+
+    def test_app_counts_carried(self):
+        rows = scale_sweep(app_counts=(10,))
+        assert rows[0]["apps"] == 10
+
+
+class TestDurationSweep:
+    def test_both_policies_reported(self):
+        rows = duration_sweep(workload="heavy")
+        assert [row["policy"] for row in rows] == ["simty", "simty+dur"]
+        for row in rows:
+            assert row["wakeups"] > 0
+
+
+class TestBucketSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return bucket_sweep(workload="light", bucket_intervals_s=(60, 300))
+
+    def test_simty_first_row(self, rows):
+        assert rows[0]["policy"] == "simty"
+        assert rows[0]["worst_window_miss_s"] <= 0.5
+
+    def test_coarser_bucket_fewer_wakeups(self, rows):
+        buckets = [row for row in rows if row["policy"].startswith("bucket")]
+        assert buckets[-1]["wakeups"] <= buckets[0]["wakeups"]
+
+    def test_buckets_violate_windows(self, rows):
+        buckets = [row for row in rows if row["policy"].startswith("bucket")]
+        assert any(row["worst_window_miss_s"] > 1.0 for row in buckets)
+
+
+class TestSensitivitySweep:
+    def test_grid_shape(self):
+        rows = sensitivity_sweep(workload="light", scales=(0.8, 1.2))
+        assert len(rows) == 6  # 3 groups x 2 scales
+        assert {row["group"] for row in rows} == {
+            "sleep",
+            "awake_base",
+            "activation",
+        }
+
+    def test_savings_robust_to_perturbation(self):
+        rows = sensitivity_sweep(workload="light", scales=(0.75, 1.25))
+        for row in rows:
+            assert row["total_savings"] > 0.08
+
+    def test_sleep_scale_moves_savings_inversely(self):
+        rows = sensitivity_sweep(workload="light", scales=(0.5, 1.5))
+        sleep_rows = {r["scale"]: r for r in rows if r["group"] == "sleep"}
+        # A bigger unalignable sleep floor dilutes relative savings.
+        assert (
+            sleep_rows[1.5]["total_savings"] < sleep_rows[0.5]["total_savings"]
+        )

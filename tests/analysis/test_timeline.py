@@ -1,0 +1,80 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.core.exact import ExactPolicy
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm, oneshot
+
+
+def sample_trace():
+    alarms = [
+        make_alarm(
+            nominal=10_000, repeat=30_000, window=0, app="poller",
+            label="poller",
+        ),
+        oneshot(nominal=50_000),
+    ]
+    return simulate(
+        ExactPolicy(),
+        alarms,
+        SimulatorConfig(horizon=120_000, wake_latency_ms=0, tail_ms=500),
+    )
+
+
+class TestRenderTimeline:
+    def test_contains_device_and_app_lanes(self):
+        text = render_timeline(sample_trace())
+        assert text.splitlines()[0].lstrip().startswith("device")
+        assert "poller" in text
+
+    def test_fixed_width(self):
+        text = render_timeline(sample_trace(), width=40)
+        lanes = [line for line in text.splitlines() if "|" in line]
+        widths = {line.index("|", line.index("|")) for line in lanes}
+        body_lengths = {
+            len(line.split("|")[1]) for line in lanes if line.count("|") == 2
+        }
+        assert body_lengths == {40}
+
+    def test_deliveries_marked(self):
+        text = render_timeline(sample_trace(), width=60)
+        poller_lane = next(
+            line for line in text.splitlines() if line.startswith("poller")
+        )
+        # Four deliveries at 10/40/70/100 s.
+        assert poller_lane.count("*") == 4
+
+    def test_wake_sessions_marked(self):
+        text = render_timeline(sample_trace(), width=60)
+        device_lane = text.splitlines()[0]
+        assert "#" in device_lane
+        assert "." in device_lane
+
+    def test_apps_filter(self):
+        text = render_timeline(sample_trace(), apps=["poller"])
+        assert "oneshot" not in text
+
+    def test_max_lanes(self):
+        text = render_timeline(sample_trace(), max_lanes=1)
+        lanes = [line for line in text.splitlines() if "|" in line]
+        assert len(lanes) == 2  # device + busiest app
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(sample_trace(), width=5)
+
+    def test_legend_present(self):
+        assert "one cell" in render_timeline(sample_trace())
+
+
+class TestCliFlag:
+    def test_run_with_timeline(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["run", "--policy", "exact", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "device" in out
+        assert "one cell" in out

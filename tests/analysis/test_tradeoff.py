@@ -1,0 +1,65 @@
+"""Energy/delay trade-off sweep."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    pareto_front,
+    tradeoff_frontier,
+)
+
+
+class TestParetoFront:
+    def test_dominated_point_excluded(self):
+        good = TradeoffPoint("good", 100.0, 0.1, 0.0, 10)
+        bad = TradeoffPoint("bad", 120.0, 0.2, 0.0, 12)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_incomparable_points_both_kept(self):
+        cheap = TradeoffPoint("cheap", 100.0, 0.3, 0.0, 10)
+        prompt = TradeoffPoint("prompt", 150.0, 0.0, 0.0, 20)
+        front = pareto_front([cheap, prompt])
+        assert set(point.label for point in front) == {"cheap", "prompt"}
+
+    def test_sorted_by_energy(self):
+        points = [
+            TradeoffPoint("a", 300.0, 0.0, 0.0, 1),
+            TradeoffPoint("b", 100.0, 0.5, 0.0, 1),
+        ]
+        front = pareto_front(points)
+        energies = [point.total_energy_j for point in front]
+        assert energies == sorted(energies)
+
+
+class TestFrontierSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        from repro.workloads.scenarios import ScenarioConfig  # noqa: F401
+
+        return tradeoff_frontier(
+            workload="light",
+            betas=(0.75, 0.96),
+            bucket_intervals_s=(300,),
+        )
+
+    def test_all_configurations_present(self, points):
+        labels = {point.label for point in points}
+        assert "EXACT" in labels
+        assert "NATIVE" in labels
+        assert "SIMTY b=0.96" in labels
+        assert "BUCKET 300s" in labels
+
+    def test_simty_respects_windows(self, points):
+        for point in points:
+            if point.label.startswith("SIMTY"):
+                assert point.worst_window_miss_s <= 0.5
+
+    def test_bucket_violates_windows(self, points):
+        bucket = next(p for p in points if p.label.startswith("BUCKET"))
+        assert bucket.worst_window_miss_s > 1.0
+
+    def test_simty_cheaper_than_native(self, points):
+        native = next(p for p in points if p.label == "NATIVE")
+        for point in points:
+            if point.label.startswith("SIMTY"):
+                assert point.total_energy_j < native.total_energy_j

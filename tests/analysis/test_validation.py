@@ -1,0 +1,35 @@
+"""Installation self-checks."""
+
+from repro.analysis.validation import (
+    CheckResult,
+    render_validation,
+    run_validation,
+)
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        results = run_validation()
+        assert results
+        failures = [result for result in results if not result.passed]
+        assert failures == []
+
+    def test_check_names_unique(self):
+        names = [result.name for result in run_validation()]
+        assert len(names) == len(set(names))
+
+    def test_render(self):
+        results = [
+            CheckResult("good", True, "fine"),
+            CheckResult("bad", False, "broken"),
+        ]
+        text = render_validation(results)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed (1 FAILED)" in text
+
+    def test_cli_exit_code(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["validate"]) == 0
+        assert "5/5 checks passed" in capsys.readouterr().out

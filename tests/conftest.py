@@ -1,0 +1,87 @@
+"""Shared test fixtures and factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alarm import Alarm, RepeatKind
+from repro.core.hardware import (
+    EMPTY_HARDWARE,
+    SPEAKER_VIBRATOR_ONLY,
+    WIFI_ONLY,
+    WPS_ONLY,
+    HardwareSet,
+)
+
+
+def make_alarm(
+    nominal=1_000,
+    repeat=60_000,
+    window=None,
+    grace=None,
+    kind=RepeatKind.STATIC,
+    hardware=WIFI_ONLY,
+    known=True,
+    wakeup=True,
+    app="app",
+    label="",
+    task_ms=0,
+):
+    """Terse alarm factory for tests.
+
+    Defaults to a known-hardware static Wi-Fi alarm (imperceptible) with a
+    zero window and zero grace unless widths are given.
+    """
+    return Alarm(
+        app=app,
+        label=label,
+        nominal_time=nominal,
+        repeat_interval=repeat if kind is not RepeatKind.ONE_SHOT else 0,
+        window_length=window if window is not None else 0,
+        grace_length=grace,
+        repeat_kind=kind,
+        wakeup=wakeup,
+        hardware=hardware,
+        hardware_known=known,
+        task_duration=task_ms,
+    )
+
+
+@pytest.fixture
+def wifi_alarm():
+    return make_alarm()
+
+
+@pytest.fixture
+def perceptible_alarm():
+    return make_alarm(hardware=SPEAKER_VIBRATOR_ONLY, label="perceptible")
+
+
+@pytest.fixture
+def wps_alarm():
+    return make_alarm(hardware=WPS_ONLY, label="wps")
+
+
+@pytest.fixture
+def unknown_alarm():
+    return make_alarm(hardware=WIFI_ONLY, known=False, label="unknown")
+
+
+@pytest.fixture
+def empty_hw_alarm():
+    return make_alarm(hardware=EMPTY_HARDWARE, label="empty")
+
+
+def oneshot(nominal=5_000, window=1_000, wakeup=True, hardware=EMPTY_HARDWARE):
+    """A one-shot alarm (always perceptible per footnote 5)."""
+    return Alarm(
+        app="oneshot",
+        nominal_time=nominal,
+        repeat_interval=0,
+        window_length=window,
+        grace_length=window,
+        repeat_kind=RepeatKind.ONE_SHOT,
+        wakeup=wakeup,
+        hardware=hardware,
+        task_duration=0,
+    )

@@ -1,0 +1,97 @@
+"""Duration-aware SIMTY (the Sec. 5 extension)."""
+
+import pytest
+
+from repro.core.duration import DurationAwareSimtyPolicy, duration_dissimilarity
+from repro.core.entry import QueueEntry
+
+from ..conftest import make_alarm
+
+
+class TestDurationDissimilarity:
+    def test_identical_durations(self):
+        entry = QueueEntry([make_alarm(task_ms=1_000)])
+        alarm = make_alarm(nominal=2_000, task_ms=1_000)
+        assert duration_dissimilarity(alarm, entry) == 0.0
+
+    def test_zero_durations_are_similar(self):
+        entry = QueueEntry([make_alarm(task_ms=0)])
+        assert duration_dissimilarity(make_alarm(nominal=2_000), entry) == 0.0
+
+    def test_ratio_based(self):
+        entry = QueueEntry([make_alarm(task_ms=1_000)])
+        alarm = make_alarm(nominal=2_000, task_ms=4_000)
+        assert duration_dissimilarity(alarm, entry) == pytest.approx(0.75)
+
+    def test_symmetric_in_scale(self):
+        entry_long = QueueEntry([make_alarm(task_ms=4_000)])
+        short = make_alarm(nominal=2_000, task_ms=1_000)
+        entry_short = QueueEntry([make_alarm(task_ms=1_000)])
+        long = make_alarm(nominal=2_000, task_ms=4_000)
+        assert duration_dissimilarity(short, entry_long) == pytest.approx(
+            duration_dissimilarity(long, entry_short)
+        )
+
+    def test_bounded_unit_interval(self):
+        entry = QueueEntry([make_alarm(task_ms=1)])
+        alarm = make_alarm(nominal=2_000, task_ms=10**9)
+        assert 0.0 <= duration_dissimilarity(alarm, entry) <= 1.0
+
+
+class TestDurationAwareSelection:
+    def test_breaks_table1_ties_by_duration(self):
+        policy = DurationAwareSimtyPolicy()
+        queue = policy.make_queue()
+        long_task = make_alarm(
+            nominal=1_000, window=10, grace=30_000, task_ms=8_000,
+            label="long",
+        )
+        short_task = make_alarm(
+            nominal=35_000, window=10, grace=20_000, task_ms=500,
+            label="short",
+        )
+        policy.insert(queue, long_task, 0)
+        policy.insert(queue, short_task, 0)
+        # Both entries are grace-similar with identical hardware; plain
+        # SIMTY would pick the first-found (long); duration-aware SIMTY
+        # prefers the duration-similar (short) entry.
+        new = make_alarm(nominal=25_000, window=10, grace=30_000, task_ms=450)
+        entry = policy.insert(queue, new, 0)
+        assert entry.contains_alarm_id(short_task.alarm_id)
+
+    def test_falls_back_to_table1_order(self):
+        # Duration only breaks ties; a better hardware rank still dominates.
+        from repro.core.hardware import WIFI_ONLY, WPS_ONLY
+
+        policy = DurationAwareSimtyPolicy()
+        queue = policy.make_queue()
+        same_duration_wrong_hw = make_alarm(
+            nominal=1_000, window=10, grace=30_000, task_ms=500,
+            hardware=WPS_ONLY, label="wps",
+        )
+        different_duration_right_hw = make_alarm(
+            nominal=35_000, window=10, grace=20_000, task_ms=8_000,
+            hardware=WIFI_ONLY, label="wifi",
+        )
+        policy.insert(queue, same_duration_wrong_hw, 0)
+        policy.insert(queue, different_duration_right_hw, 0)
+        new = make_alarm(
+            nominal=25_000, window=10, grace=30_000, task_ms=500,
+            hardware=WIFI_ONLY,
+        )
+        entry = policy.insert(queue, new, 0)
+        assert entry.contains_alarm_id(different_duration_right_hw.alarm_id)
+
+    def test_inherits_simty_applicability(self):
+        from repro.core.hardware import SPEAKER_VIBRATOR_ONLY
+
+        policy = DurationAwareSimtyPolicy()
+        queue = policy.make_queue()
+        imperceptible = make_alarm(nominal=1_000, window=10, grace=30_000)
+        policy.insert(queue, imperceptible, 0)
+        perceptible = make_alarm(
+            nominal=20_000, window=10, grace=30_000,
+            hardware=SPEAKER_VIBRATOR_ONLY,
+        )
+        entry = policy.insert(queue, perceptible, 0)
+        assert not entry.contains_alarm_id(imperceptible.alarm_id)

@@ -1,0 +1,39 @@
+"""EXACT baseline: no alignment at all."""
+
+from repro.core.exact import ExactPolicy
+
+from ..conftest import make_alarm
+
+
+class TestExactPolicy:
+    def test_every_alarm_gets_own_entry(self):
+        policy = ExactPolicy()
+        queue = policy.make_queue()
+        for i in range(10):
+            policy.insert(queue, make_alarm(nominal=1_000, window=5_000), 0)
+        assert len(queue) == 10
+        assert all(len(entry) == 1 for entry in queue.entries())
+
+    def test_delivery_at_nominal_time(self):
+        policy = ExactPolicy()
+        queue = policy.make_queue()
+        entry = policy.insert(
+            queue, make_alarm(nominal=7_000, window=5_000), 0
+        )
+        assert entry.delivery_time(grace_mode=False) == 7_000
+
+    def test_stale_instance_removed(self):
+        policy = ExactPolicy()
+        queue = policy.make_queue()
+        alarm = make_alarm(nominal=1_000, window=100)
+        policy.insert(queue, alarm, 0)
+        alarm.nominal_time = 61_000
+        policy.insert(queue, alarm, 0)
+        assert queue.alarm_count() == 1
+
+    def test_reinsert_is_plain_insert(self):
+        policy = ExactPolicy()
+        queue = policy.make_queue()
+        alarm = make_alarm(nominal=1_000, window=5_000)
+        policy.reinsert(queue, alarm, 0)
+        assert len(queue) == 1

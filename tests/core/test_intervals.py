@@ -1,0 +1,133 @@
+"""Interval algebra: unit tests plus hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, intersect_all, overlap_length
+
+intervals = st.builds(
+    lambda start, length: Interval(start, start + length),
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+
+class TestConstruction:
+    def test_point_interval_is_valid(self):
+        interval = Interval(5, 5)
+        assert interval.length == 0
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 9)
+
+    def test_length(self):
+        assert Interval(10, 25).length == 15
+
+    def test_iter_unpacks(self):
+        start, end = Interval(1, 2)
+        assert (start, end) == (1, 2)
+
+
+class TestContains:
+    def test_contains_endpoints(self):
+        interval = Interval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(20)
+
+    def test_excludes_outside(self):
+        interval = Interval(10, 20)
+        assert not interval.contains(9)
+        assert not interval.contains(21)
+
+    def test_clamp(self):
+        interval = Interval(10, 20)
+        assert interval.clamp(5) == 10
+        assert interval.clamp(15) == 15
+        assert interval.clamp(99) == 20
+
+
+class TestOverlap:
+    def test_touching_endpoints_overlap(self):
+        assert Interval(0, 10).overlaps(Interval(10, 20))
+
+    def test_disjoint(self):
+        assert not Interval(0, 9).overlaps(Interval(10, 20))
+
+    def test_nested(self):
+        assert Interval(0, 100).overlaps(Interval(40, 60))
+
+    def test_point_in_window(self):
+        # An alpha=0 alarm only batches when its point lies inside the window.
+        assert Interval(50, 50).overlaps(Interval(0, 100))
+        assert not Interval(101, 101).overlaps(Interval(0, 100))
+
+    def test_overlap_length_touching_is_zero(self):
+        assert overlap_length(Interval(0, 10), Interval(10, 20)) == 0
+
+    def test_overlap_length(self):
+        assert overlap_length(Interval(0, 10), Interval(5, 20)) == 5
+
+
+class TestIntersect:
+    def test_disjoint_returns_none(self):
+        assert Interval(0, 5).intersect(Interval(6, 9)) is None
+
+    def test_intersection_value(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersect_all_requires_input(self):
+        with pytest.raises(ValueError):
+            intersect_all([])
+
+    def test_intersect_all_chain(self):
+        result = intersect_all(
+            [Interval(0, 100), Interval(50, 150), Interval(60, 70)]
+        )
+        assert result == Interval(60, 70)
+
+    def test_intersect_all_vanishes(self):
+        assert intersect_all([Interval(0, 10), Interval(20, 30)]) is None
+
+    def test_shift(self):
+        assert Interval(3, 7).shift(10) == Interval(13, 17)
+
+
+class TestProperties:
+    @given(intervals, intervals)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals, intervals)
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(intervals, intervals)
+    def test_intersection_within_operands(self, a, b):
+        inter = a.intersect(b)
+        if inter is not None:
+            assert inter.start >= max(a.start, b.start)
+            assert inter.end <= min(a.end, b.end)
+            assert a.contains(inter.start) and b.contains(inter.start)
+
+    @given(intervals)
+    def test_self_intersection_identity(self, a):
+        assert a.intersect(a) == a
+
+    @given(intervals, intervals, intervals)
+    def test_intersection_associative(self, a, b, c):
+        def chain(x, y):
+            return None if x is None else x.intersect(y)
+
+        left = chain(chain(a, b), c)
+        right = chain(a, b.intersect(c)) if b.intersect(c) else None
+        # When either association is empty both must be empty.
+        assert (left is None) == (right is None)
+        if left is not None:
+            assert left == right
+
+    @given(intervals, st.integers(min_value=-10**6, max_value=10**6))
+    def test_shift_preserves_length(self, a, delta):
+        shifted = a.shift(delta)
+        assert shifted.length == a.length

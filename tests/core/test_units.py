@@ -1,0 +1,49 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestTimeConversions:
+    def test_seconds_to_ticks(self):
+        assert units.seconds(1) == 1_000
+
+    def test_fractional_seconds_round(self):
+        assert units.seconds(1.5) == 1_500
+        assert units.seconds(0.0004) == 0
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120_000
+
+    def test_hours(self):
+        assert units.hours(1) == 3_600_000
+
+    def test_three_hours_constant(self):
+        assert units.THREE_HOURS_MS == units.hours(3)
+
+    def test_roundtrip(self):
+        assert units.to_seconds(units.seconds(42)) == pytest.approx(42.0)
+
+    def test_to_seconds_fraction(self):
+        assert units.to_seconds(1_500) == pytest.approx(1.5)
+
+
+class TestEnergyConversions:
+    def test_mj_to_joules(self):
+        assert units.mj_to_joules(1_000.0) == pytest.approx(1.0)
+
+    def test_joules_to_mj(self):
+        assert units.joules_to_mj(2.5) == pytest.approx(2_500.0)
+
+    def test_mw_ms_to_mj_one_second(self):
+        # 100 mW for one second is 100 mJ.
+        assert units.mw_ms_to_mj(100.0, 1_000) == pytest.approx(100.0)
+
+    def test_mw_ms_to_mj_zero_duration(self):
+        assert units.mw_ms_to_mj(500.0, 0) == 0.0
+
+    def test_mw_ms_to_mj_scaling(self):
+        base = units.mw_ms_to_mj(50.0, 2_000)
+        assert units.mw_ms_to_mj(100.0, 2_000) == pytest.approx(2 * base)
+        assert units.mw_ms_to_mj(50.0, 4_000) == pytest.approx(2 * base)

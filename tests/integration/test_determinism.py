@@ -1,0 +1,51 @@
+"""Bit-level reproducibility of full experiment runs."""
+
+from repro.analysis.experiments import run_experiment, run_pair
+from repro.workloads.scenarios import ScenarioConfig
+
+
+def fingerprint(trace):
+    return [
+        (batch.delivered_at, tuple(sorted(r.label for r in batch.alarms)))
+        for batch in trace.batches
+    ]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        config = ScenarioConfig(horizon=900_000)
+        first = run_experiment("light", "simty", config)
+        second = run_experiment("light", "simty", config)
+        assert fingerprint(first.trace) == fingerprint(second.trace)
+        assert first.energy.total_mj == second.energy.total_mj
+        assert (
+            first.delays.imperceptible.mean == second.delays.imperceptible.mean
+        )
+
+    def test_native_runs_reproducible(self):
+        config = ScenarioConfig(horizon=900_000)
+        first = run_experiment("heavy", "native", config)
+        second = run_experiment("heavy", "native", config)
+        assert fingerprint(first.trace) == fingerprint(second.trace)
+
+    def test_phase_seed_changes_results(self):
+        first = run_experiment(
+            "light", "native", ScenarioConfig(horizon=900_000, phase_seed=1)
+        )
+        second = run_experiment(
+            "light", "native", ScenarioConfig(horizon=900_000, phase_seed=2)
+        )
+        assert fingerprint(first.trace) != fingerprint(second.trace)
+
+    def test_pair_runs_share_workload_shape(self):
+        # Both policies must see the same registrations (same labels and
+        # nominal times) so comparisons are apples to apples.
+        config = ScenarioConfig(horizon=900_000)
+        pair = run_pair("light", scenario_config=config)
+        baseline_regs = [
+            (r.time, r.label) for r in pair.baseline.trace.registrations
+        ]
+        improved_regs = [
+            (r.time, r.label) for r in pair.improved.trace.registrations
+        ]
+        assert baseline_regs == improved_regs

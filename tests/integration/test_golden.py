@@ -1,0 +1,67 @@
+"""Golden regression pins for the default paper runs.
+
+The default scenario is fully deterministic, so the headline numbers can be
+pinned exactly.  These values are the ones recorded in EXPERIMENTS.md; a
+deliberate calibration change should update both places together.  (The
+shape tests in test_paper_reproduction.py use wide bands; this file exists
+to catch *unintended* behaviour changes from refactors.)
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_paper_matrix
+from repro.analysis.figures import fig2_motivating
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_paper_matrix()
+
+
+GOLDEN_WAKEUPS = {
+    ("light", "baseline"): 701,
+    ("light", "improved"): 221,
+    ("heavy", "baseline"): 675,
+    ("heavy", "improved"): 239,
+}
+
+GOLDEN_TOTALS_J = {
+    ("light", "baseline"): 1620,
+    ("light", "improved"): 1310,
+    ("heavy", "baseline"): 2237,
+    ("heavy", "improved"): 1762,
+}
+
+
+class TestGoldenNumbers:
+    def test_fig2_exact(self):
+        results = fig2_motivating()
+        assert results == {"NATIVE": 7_520.0, "SIMTY": 4_050.0}
+
+    @pytest.mark.parametrize("workload", ["light", "heavy"])
+    def test_cpu_wakeups_pinned(self, matrix, workload):
+        pair = matrix[workload]
+        assert pair.baseline.wakeups.cpu.delivered == GOLDEN_WAKEUPS[
+            (workload, "baseline")
+        ]
+        assert pair.improved.wakeups.cpu.delivered == GOLDEN_WAKEUPS[
+            (workload, "improved")
+        ]
+
+    @pytest.mark.parametrize("workload", ["light", "heavy"])
+    def test_energy_totals_pinned(self, matrix, workload):
+        pair = matrix[workload]
+        assert round(pair.baseline.energy.total_mj / 1000) == GOLDEN_TOTALS_J[
+            (workload, "baseline")
+        ]
+        assert round(pair.improved.energy.total_mj / 1000) == GOLDEN_TOTALS_J[
+            (workload, "improved")
+        ]
+
+    def test_delays_pinned(self, matrix):
+        assert matrix["light"].improved.delays.imperceptible.mean == pytest.approx(
+            0.2579, abs=2e-3
+        )
+        assert matrix["heavy"].improved.delays.imperceptible.mean == pytest.approx(
+            0.1386, abs=2e-3
+        )

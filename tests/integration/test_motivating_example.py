@@ -1,0 +1,75 @@
+"""The Sec. 2.2 motivating example, end to end through the simulator.
+
+Beyond the energy identity (checked in test_paper_reproduction), this test
+verifies the *mechanism*: which alarms end up in which batches under each
+policy, matching Figures 2(b) and 2(c).
+"""
+
+import pytest
+
+from repro.analysis.figures import _motivating_alarms
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.core.units import minutes
+from repro.power.accounting import delivery_energy_mj
+from repro.power.profiles import IDEAL_DELIVERY_ONLY
+from repro.simulator.engine import Simulator, SimulatorConfig
+
+
+def run(policy):
+    simulator = Simulator(
+        policy,
+        config=SimulatorConfig(
+            horizon=minutes(8), wake_latency_ms=0, tail_ms=0
+        ),
+    )
+    simulator.add_alarms(_motivating_alarms())
+    return simulator.run()
+
+
+class TestNativeAlignment:
+    def test_new_wps_alarm_joins_calendar(self):
+        # Fig. 2(b): window overlap forces the new location alarm into the
+        # calendar entry; the other location alarm fires alone.
+        trace = run(NativePolicy())
+        batches = [
+            sorted(record.label for record in batch.alarms)
+            for batch in trace.batches
+        ]
+        assert ["calendar", "wps-b"] in batches
+        assert ["wps-a"] in batches
+
+    def test_energy_7520(self):
+        trace = run(NativePolicy())
+        assert delivery_energy_mj(trace, IDEAL_DELIVERY_ONLY) == pytest.approx(
+            7_520.0
+        )
+
+
+class TestSimtyAlignment:
+    def test_wps_alarms_align_together(self):
+        # Fig. 2(c): the new location alarm tolerates a postponed delivery
+        # and shares one WPS activation with the other location alarm.
+        trace = run(SimtyPolicy())
+        batches = [
+            sorted(record.label for record in batch.alarms)
+            for batch in trace.batches
+        ]
+        assert ["calendar"] in batches
+        assert ["wps-a", "wps-b"] in batches
+
+    def test_energy_4050(self):
+        trace = run(SimtyPolicy())
+        assert delivery_energy_mj(trace, IDEAL_DELIVERY_ONLY) == pytest.approx(
+            4_050.0
+        )
+
+    def test_postponed_alarm_within_grace(self):
+        trace = run(SimtyPolicy())
+        for record in trace.deliveries():
+            assert record.grace_delay == 0
+
+    def test_savings_factor(self):
+        native = delivery_energy_mj(run(NativePolicy()), IDEAL_DELIVERY_ONLY)
+        simty = delivery_energy_mj(run(SimtyPolicy()), IDEAL_DELIVERY_ONLY)
+        assert native / simty == pytest.approx(7_520.0 / 4_050.0)

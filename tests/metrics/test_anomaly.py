@@ -1,0 +1,115 @@
+"""No-sleep-bug detection."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import WIFI_ONLY
+from repro.metrics.anomaly import (
+    app_wakelock_profiles,
+    detect_no_sleep_suspects,
+)
+from repro.power.profiles import NEXUS5
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm
+
+
+def run(alarms, horizon=600_000):
+    return simulate(
+        ExactPolicy(),
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=0, tail_ms=0),
+    )
+
+
+def healthy_alarm(label="healthy"):
+    return make_alarm(
+        nominal=10_000, repeat=60_000, window=0, task_ms=1_000,
+        app=label, label=label,
+    )
+
+
+def buggy_alarm(hold_ms=30_000, label="buggy"):
+    alarm = make_alarm(
+        nominal=20_000, repeat=60_000, window=0, task_ms=1_000,
+        app=label, label=label,
+    )
+    alarm.hold_duration = hold_ms
+    return alarm
+
+
+class TestProfiles:
+    def test_healthy_ratio_is_one(self):
+        profiles = app_wakelock_profiles(run([healthy_alarm()]))
+        assert profiles["healthy"].hold_ratio == pytest.approx(1.0)
+
+    def test_buggy_ratio(self):
+        profiles = app_wakelock_profiles(run([buggy_alarm(30_000)]))
+        assert profiles["buggy"].hold_ratio == pytest.approx(30.0)
+
+    def test_delivery_counts(self):
+        profiles = app_wakelock_profiles(run([healthy_alarm()]))
+        assert profiles["healthy"].deliveries == 10
+
+
+class TestDetection:
+    def test_healthy_app_not_flagged(self):
+        suspects = detect_no_sleep_suspects(run([healthy_alarm()]))
+        assert suspects == []
+
+    def test_buggy_app_flagged(self):
+        suspects = detect_no_sleep_suspects(
+            run([healthy_alarm(), buggy_alarm(30_000)])
+        )
+        assert [s.profile.app for s in suspects] == ["buggy"]
+        assert suspects[0].leaked_hold_ms > 0
+
+    def test_small_leak_below_threshold_ignored(self):
+        suspects = detect_no_sleep_suspects(
+            run([buggy_alarm(1_400)]), min_leak_ms=5_000
+        )
+        assert suspects == []
+
+    def test_energy_estimate_with_model(self):
+        suspects = detect_no_sleep_suspects(
+            run([buggy_alarm(30_000)]), model=NEXUS5
+        )
+        assert suspects[0].leaked_energy_mj is not None
+        # 10 deliveries x 29 s leak x 250 mW (Wi-Fi) = 72.5 J.
+        assert suspects[0].leaked_energy_mj == pytest.approx(72_500.0)
+
+    def test_sorted_by_leak(self):
+        suspects = detect_no_sleep_suspects(
+            run(
+                [
+                    buggy_alarm(30_000, label="worse"),
+                    buggy_alarm(10_000, label="bad"),
+                ]
+            )
+        )
+        assert [s.profile.app for s in suspects] == ["worse", "bad"]
+
+
+class TestEngineHoldSemantics:
+    def test_leak_extends_device_awake_time(self):
+        healthy = run([healthy_alarm()])
+        buggy = run([buggy_alarm(30_000)])
+        assert buggy.total_awake_ms() > 3 * healthy.total_awake_ms()
+
+    def test_leak_charged_to_component_hold(self):
+        from repro.core.hardware import Component
+
+        trace = run([buggy_alarm(30_000)])
+        deliveries = trace.delivery_count()
+        assert trace.wakelocks.hold_ms(Component.WIFI) == 30_000 * deliveries
+
+    def test_hold_below_task_duration_rejected(self):
+        from repro.core.alarm import Alarm
+
+        with pytest.raises(ValueError):
+            Alarm(
+                app="x",
+                nominal_time=0,
+                task_duration=1_000,
+                hold_duration=500,
+            )

@@ -1,0 +1,129 @@
+"""Normalized delivery delay metric (Fig. 4)."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import SPEAKER_VIBRATOR_ONLY, WIFI_ONLY
+from repro.core.simty import SimtyPolicy
+from repro.metrics.delay import (
+    DelaySummary,
+    delay_report,
+    max_grace_violation_ms,
+    max_window_violation_ms,
+)
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm, oneshot
+
+
+def run(policy, alarms, horizon=200_000, latency=0, tail=0):
+    return simulate(
+        policy,
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=latency, tail_ms=tail),
+    )
+
+
+class TestDelaySummary:
+    def test_empty(self):
+        summary = DelaySummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.maximum == 0.0
+
+    def test_statistics(self):
+        summary = DelaySummary.of([0.0, 0.1, 0.2])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.2)
+        assert summary.nonzero_count == 2
+
+
+class TestDelayReport:
+    def test_on_time_deliveries_zero(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=5_000)
+        report = delay_report(run(ExactPolicy(), [alarm]))
+        assert report.imperceptible.mean == 0.0
+        # Occurrences at 10, 60, 110 and 160 seconds within the 200 s run.
+        assert report.imperceptible.count == 4
+
+    def test_classes_split_by_true_hardware(self):
+        wifi = make_alarm(
+            nominal=10_000, repeat=100_000, window=0, hardware=WIFI_ONLY,
+            label="wifi",
+        )
+        speaker = make_alarm(
+            nominal=20_000, repeat=100_000, window=0,
+            hardware=SPEAKER_VIBRATOR_ONLY, label="spk",
+        )
+        report = delay_report(run(ExactPolicy(), [wifi, speaker]))
+        assert report.imperceptible.count == 2
+        assert report.perceptible.count == 2
+
+    def test_wake_latency_shows_up_for_point_windows(self):
+        alarm = make_alarm(nominal=10_000, repeat=100_000, window=0)
+        report = delay_report(run(ExactPolicy(), [alarm], latency=500))
+        assert report.imperceptible.mean == pytest.approx(500 / 100_000)
+
+    def test_simty_grace_postponement_measured(self):
+        early = make_alarm(
+            nominal=10_000, repeat=100_000, window=0, grace=60_000,
+            label="early",
+        )
+        late = make_alarm(
+            nominal=50_000, repeat=100_000, window=0, grace=60_000,
+            label="late",
+        )
+        report = delay_report(run(SimtyPolicy(), [early, late]))
+        # early is postponed to 50,000: delay 40,000 / 100,000.
+        assert report.imperceptible.mean == pytest.approx(
+            (0.4 + 0.0) / 2
+        )
+
+    def test_labels_filter(self):
+        alarm = make_alarm(
+            nominal=10_000, repeat=100_000, window=0, label="major"
+        )
+        noise = make_alarm(
+            nominal=20_000, repeat=100_000, window=0, label="noise"
+        )
+        trace = run(ExactPolicy(), [alarm, noise])
+        report = delay_report(trace, labels=["major"])
+        assert report.imperceptible.count == 2
+
+    def test_oneshots_excluded_by_default(self):
+        trace = run(ExactPolicy(), [oneshot(nominal=10_000)])
+        assert delay_report(trace).perceptible.count == 0
+        assert delay_report(trace, include_oneshots=True).perceptible.count == 1
+
+
+class TestViolationProbes:
+    def test_no_violations_on_time(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=5_000)
+        trace = run(ExactPolicy(), [alarm])
+        assert max_window_violation_ms(trace) == 0
+        assert max_grace_violation_ms(trace) == 0
+
+    def test_perceptible_window_violation_detected(self):
+        # Register the perceptible alarm too late to deliver on time.
+        from repro.simulator.engine import Simulator
+
+        simulator = Simulator(
+            ExactPolicy(),
+            config=SimulatorConfig(horizon=100_000, wake_latency_ms=0, tail_ms=0),
+        )
+        alarm = make_alarm(
+            nominal=10_000, repeat=100_000, window=1_000,
+            hardware=SPEAKER_VIBRATOR_ONLY,
+        )
+        simulator.add_alarm(alarm, at=50_000)
+        trace = simulator.run()
+        assert max_window_violation_ms(trace) == 39_000
+
+    def test_grace_violation_ignores_nonwakeup(self):
+        nonwakeup = oneshot(nominal=5_000, wakeup=False)
+        wakeup = oneshot(nominal=90_000)
+        trace = run(ExactPolicy(), [nonwakeup, wakeup])
+        # The non-wakeup alarm is delivered 85 s late, but the guarantee
+        # explicitly excludes non-wakeup alarms.
+        assert max_grace_violation_ms(trace) == 0

@@ -1,0 +1,57 @@
+"""Energy comparison metric."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.simty import SimtyPolicy
+from repro.metrics.energy import compare_energy
+from repro.power.profiles import NEXUS5
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm
+
+
+def build_alarms():
+    return [
+        make_alarm(
+            nominal=10_000, repeat=60_000, window=0, grace=57_000,
+            label="a",
+        ),
+        make_alarm(
+            nominal=40_000, repeat=60_000, window=0, grace=57_000,
+            label="b",
+        ),
+    ]
+
+
+def traces():
+    config = SimulatorConfig(horizon=600_000, wake_latency_ms=0, tail_ms=0)
+    baseline = simulate(ExactPolicy(), build_alarms(), config)
+    improved = simulate(SimtyPolicy(), build_alarms(), config)
+    return baseline, improved
+
+
+class TestCompareEnergy:
+    def test_alignment_saves_energy(self):
+        baseline, improved = traces()
+        comparison = compare_energy(baseline, improved, NEXUS5)
+        assert comparison.total_savings > 0
+        assert comparison.awake_savings > comparison.total_savings
+
+    def test_standby_extension_positive(self):
+        baseline, improved = traces()
+        comparison = compare_energy(baseline, improved, NEXUS5)
+        assert comparison.standby_extension > 0
+
+    def test_self_comparison_is_zero(self):
+        baseline, _ = traces()
+        comparison = compare_energy(baseline, baseline, NEXUS5)
+        assert comparison.total_savings == pytest.approx(0.0)
+        assert comparison.standby_extension == pytest.approx(0.0)
+
+    def test_extension_consistent_with_savings(self):
+        baseline, improved = traces()
+        comparison = compare_energy(baseline, improved, NEXUS5)
+        # extension = 1/(1-savings) - 1 for equal horizons.
+        expected = 1.0 / (1.0 - comparison.total_savings) - 1.0
+        assert comparison.standby_extension == pytest.approx(expected)

@@ -1,0 +1,118 @@
+"""Adjacent-delivery statistics and the Sec. 3.2.2 property checks."""
+
+from repro.core.alarm import RepeatKind
+from repro.core.exact import ExactPolicy
+from repro.core.simty import SimtyPolicy
+from repro.metrics.intervals import (
+    check_periodicity,
+    delivery_gaps,
+    gap_stats,
+    static_grid_consistency,
+)
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm
+
+
+def run(policy, alarms, horizon=400_000, latency=0):
+    return simulate(
+        policy,
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=latency, tail_ms=0),
+    )
+
+
+class TestGaps:
+    def test_delivery_gaps(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=0, label="x")
+        trace = run(ExactPolicy(), [alarm])
+        assert delivery_gaps(trace, "x") == [50_000] * 7
+
+    def test_gap_stats(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=0, label="x")
+        stats = gap_stats(run(ExactPolicy(), [alarm]))["x"]
+        assert stats.min_gap == stats.max_gap == 50_000
+        assert stats.mean_gap == 50_000
+        assert stats.deliveries == 8
+
+    def test_single_delivery_has_no_stats(self):
+        alarm = make_alarm(
+            nominal=10_000, repeat=500_000, window=0, label="once"
+        )
+        assert "once" not in gap_stats(run(ExactPolicy(), [alarm]))
+
+
+class TestPeriodicityBounds:
+    def test_exact_run_satisfies_bounds(self):
+        alarms = [
+            make_alarm(nominal=10_000, repeat=40_000, window=0, label="s"),
+            make_alarm(
+                nominal=20_000, repeat=60_000, window=0,
+                kind=RepeatKind.DYNAMIC, label="d",
+            ),
+        ]
+        trace = run(ExactPolicy(), alarms)
+        assert check_periodicity(trace, tolerance_fraction=0.0) == []
+
+    def test_simty_run_satisfies_beta_bounds(self):
+        alarms = [
+            make_alarm(
+                nominal=10_000, repeat=50_000, window=0, grace=48_000,
+                label="a",
+            ),
+            make_alarm(
+                nominal=30_000, repeat=70_000, window=0, grace=67_000,
+                label="b",
+            ),
+            make_alarm(
+                nominal=45_000, repeat=60_000, window=0, grace=57_000,
+                kind=RepeatKind.DYNAMIC, label="c",
+            ),
+        ]
+        trace = run(SimtyPolicy(), alarms, horizon=1_000_000)
+        assert check_periodicity(trace, tolerance_fraction=0.96) == []
+
+    def test_violation_detected(self):
+        # With a zero tolerance claim, SIMTY's postponements must violate.
+        alarms = [
+            make_alarm(
+                nominal=10_000, repeat=50_000, window=0, grace=45_000,
+                label="a",
+            ),
+            make_alarm(
+                nominal=40_000, repeat=70_000, window=0, grace=65_000,
+                label="b",
+            ),
+        ]
+        trace = run(SimtyPolicy(), alarms, horizon=500_000)
+        violations = check_periodicity(trace, tolerance_fraction=0.0)
+        assert violations
+        assert all(v.bound in ("min", "max") for v in violations)
+
+    def test_latency_slack_forgives_rtc_delay(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=0, label="x")
+        trace = run(ExactPolicy(), [alarm], latency=400)
+        # First delivery pays latency; later ones wake from sleep too, so
+        # gaps stay at 50 s, but a tolerance of zero with no slack must
+        # still pass since every delivery is uniformly late.
+        assert check_periodicity(trace, 0.0, latency_slack_ms=400) == []
+
+
+class TestStaticGrid:
+    def test_consistent_grid(self):
+        alarm = make_alarm(nominal=10_000, repeat=40_000, window=0, label="x")
+        assert static_grid_consistency(run(ExactPolicy(), [alarm])) == []
+
+    def test_simty_never_skips_static_occurrences(self):
+        alarms = [
+            make_alarm(
+                nominal=10_000, repeat=50_000, window=0, grace=48_000,
+                label="a",
+            ),
+            make_alarm(
+                nominal=35_000, repeat=80_000, window=0, grace=76_000,
+                label="b",
+            ),
+        ]
+        trace = run(SimtyPolicy(), alarms, horizon=1_000_000)
+        assert static_grid_consistency(trace) == []

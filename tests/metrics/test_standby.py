@@ -1,0 +1,32 @@
+"""Standby lifetime projection."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.metrics.standby import standby_estimate
+from repro.power.accounting import account
+from repro.power.battery import Battery
+from repro.power.profiles import NEXUS5
+from repro.simulator.engine import SimulatorConfig, simulate
+
+
+def idle_breakdown():
+    trace = simulate(ExactPolicy(), [], SimulatorConfig(horizon=1_000_000))
+    return account(trace, NEXUS5)
+
+
+class TestStandbyEstimate:
+    def test_idle_standby_hours(self):
+        estimate = standby_estimate(idle_breakdown(), NEXUS5)
+        assert estimate.average_power_mw == pytest.approx(96.0)
+        assert estimate.standby_hours == pytest.approx(91.04, rel=0.01)
+
+    def test_custom_battery(self):
+        battery = Battery(capacity_mj=3_600_000.0)
+        estimate = standby_estimate(idle_breakdown(), NEXUS5, battery)
+        assert estimate.standby_hours == pytest.approx(
+            1_000.0 / 96.0, rel=0.01
+        )
+
+    def test_policy_name_carried(self):
+        assert standby_estimate(idle_breakdown(), NEXUS5).policy_name == "EXACT"

@@ -1,0 +1,128 @@
+"""Wakeup breakdown (Table 4)."""
+
+import pytest
+
+from repro.core.alarm import RepeatKind
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import Component, WIFI_ONLY, WPS_ONLY
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.metrics.wakeups import (
+    WakeupRow,
+    least_required_wakeups,
+    wakeup_breakdown,
+)
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm, oneshot
+
+
+def run(policy, alarms, horizon=200_000):
+    return simulate(
+        policy,
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=0, tail_ms=0),
+    )
+
+
+class TestWakeupRow:
+    def test_ratio(self):
+        assert WakeupRow(50, 100).ratio == pytest.approx(0.5)
+
+    def test_zero_expected(self):
+        assert WakeupRow(0, 0).ratio == 0.0
+
+    def test_str(self):
+        assert str(WakeupRow(3, 7)) == "3/7"
+
+
+class TestBreakdown:
+    def test_exact_policy_cpu_ratio_is_one(self):
+        alarm = make_alarm(nominal=10_000, repeat=50_000, window=0)
+        breakdown = wakeup_breakdown(run(ExactPolicy(), [alarm]))
+        assert breakdown.cpu.delivered == breakdown.cpu.expected == 4
+
+    def test_cpu_counts_oneshots(self):
+        breakdown = wakeup_breakdown(
+            run(ExactPolicy(), [oneshot(nominal=5_000)])
+        )
+        assert breakdown.cpu.expected == 1
+
+    def test_cpu_excludes_nonwakeup_expected(self):
+        # Non-wakeup alarms never cause wakeups even unaligned.
+        trace = run(
+            ExactPolicy(),
+            [oneshot(nominal=5_000, wakeup=False), oneshot(nominal=9_000)],
+        )
+        breakdown = wakeup_breakdown(trace)
+        assert breakdown.cpu.expected == 1
+
+    def test_component_rows(self):
+        wifi = make_alarm(
+            nominal=10_000, repeat=50_000, window=0, hardware=WIFI_ONLY
+        )
+        wps = make_alarm(
+            nominal=20_000, repeat=100_000, window=0, hardware=WPS_ONLY
+        )
+        breakdown = wakeup_breakdown(run(ExactPolicy(), [wifi, wps]))
+        assert breakdown.row(Component.WIFI).expected == 4
+        assert breakdown.row(Component.WPS).expected == 2
+        assert breakdown.row(Component.GPS).expected == 0
+
+    def test_aligned_batch_counts_component_once(self):
+        first = make_alarm(
+            nominal=10_000, repeat=150_000, window=5_000, hardware=WIFI_ONLY
+        )
+        second = make_alarm(
+            nominal=12_000, repeat=150_000, window=5_000, hardware=WIFI_ONLY
+        )
+        breakdown = wakeup_breakdown(run(NativePolicy(), [first, second]))
+        wifi = breakdown.row(Component.WIFI)
+        # Two occurrences per alarm (at ~10 s and ~160 s), merged pairwise.
+        assert wifi.expected == 4
+        assert wifi.delivered == 2
+
+    def test_major_labels_filter_components_only(self):
+        major = make_alarm(
+            nominal=10_000, repeat=150_000, window=0,
+            hardware=WIFI_ONLY, label="major",
+        )
+        minor = make_alarm(
+            nominal=50_000, repeat=150_000, window=0,
+            hardware=WPS_ONLY, label="minor",
+        )
+        breakdown = wakeup_breakdown(
+            run(ExactPolicy(), [major, minor]), major_labels=["major"]
+        )
+        assert breakdown.row(Component.WPS).expected == 0
+        assert breakdown.cpu.expected == 3  # CPU row counts everything
+
+    def test_dynamic_stretch_shrinks_expected(self):
+        # Under SIMTY a postponed dynamic alarm has fewer occurrences, so
+        # the expected count shrinks (the paper's Sec. 4.2 observation).
+        def build():
+            return [
+                make_alarm(
+                    nominal=10_000, repeat=20_000, window=0, grace=19_000,
+                    kind=RepeatKind.DYNAMIC, label="dyn",
+                ),
+                make_alarm(
+                    nominal=25_000, repeat=30_000, window=0, grace=29_000,
+                    label="anchor",
+                ),
+            ]
+
+        native = wakeup_breakdown(run(NativePolicy(), build()))
+        simty = wakeup_breakdown(run(SimtyPolicy(), build()))
+        assert simty.cpu.expected < native.cpu.expected
+        assert simty.cpu.delivered < native.cpu.delivered
+
+
+class TestLeastRequired:
+    def test_paper_bound(self):
+        # Sec. 4.2: 10800 s / 60 s = 180 for the accelerometer.
+        assert least_required_wakeups(10_800_000, 60_000) == 180
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            least_required_wakeups(1_000, 0)

@@ -1,0 +1,117 @@
+"""Energy accounting over traces."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import Component, WIFI_ONLY
+from repro.power.accounting import (
+    account,
+    awake_savings_fraction,
+    delivery_energy_mj,
+    savings_fraction,
+)
+from repro.power.profiles import IDEAL_DELIVERY_ONLY, NEXUS5
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm, oneshot
+
+
+def run(alarms, horizon=100_000, latency=0, tail=0):
+    return simulate(
+        ExactPolicy(),
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=latency, tail_ms=tail),
+    )
+
+
+class TestAccount:
+    def test_idle_run_is_pure_sleep(self):
+        trace = run([], horizon=1_000_000)
+        breakdown = account(trace, NEXUS5)
+        assert breakdown.awake_mj == 0.0
+        assert breakdown.sleep_mj == pytest.approx(
+            NEXUS5.sleep_power_mw * 1_000.0
+        )
+        assert breakdown.total_mj == breakdown.sleep_mj
+
+    def test_single_wakeup_energy(self):
+        trace = run([oneshot(nominal=5_000)], horizon=100_000)
+        breakdown = account(trace, IDEAL_DELIVERY_ONLY)
+        assert breakdown.wake_count == 1
+        assert breakdown.wake_transitions_mj == pytest.approx(180.0)
+        assert breakdown.hardware_mj == 0.0
+
+    def test_component_energy(self):
+        alarm = make_alarm(
+            nominal=5_000, repeat=60_000, window=0,
+            hardware=WIFI_ONLY, task_ms=2_000,
+        )
+        trace = run([alarm], horizon=50_000)
+        breakdown = account(trace, NEXUS5)
+        wifi = breakdown.components[Component.WIFI]
+        assert wifi.activations == 1
+        assert wifi.hold_ms == 2_000
+        assert wifi.activation_mj == pytest.approx(600.0)
+        assert wifi.hold_mj == pytest.approx(500.0)
+        assert wifi.total_mj == pytest.approx(1_100.0)
+
+    def test_sleep_plus_awake_partition(self):
+        trace = run([oneshot(nominal=5_000)], horizon=100_000, tail=700)
+        breakdown = account(trace, NEXUS5)
+        assert breakdown.sleep_ms + breakdown.awake_ms == 100_000
+
+    def test_average_power(self):
+        trace = run([], horizon=1_000_000)
+        breakdown = account(trace, NEXUS5)
+        assert breakdown.average_power_mw == pytest.approx(
+            NEXUS5.sleep_power_mw
+        )
+
+    def test_total_is_sum_of_parts(self):
+        alarm = make_alarm(
+            nominal=5_000, repeat=20_000, window=0, task_ms=500
+        )
+        trace = run([alarm], horizon=100_000, latency=300, tail=700)
+        breakdown = account(trace, NEXUS5)
+        assert breakdown.total_mj == pytest.approx(
+            breakdown.sleep_mj
+            + breakdown.awake_base_mj
+            + breakdown.wake_transitions_mj
+            + breakdown.hardware_mj
+        )
+
+
+class TestDeliveryEnergy:
+    def test_matches_paper_single_wps(self):
+        from repro.core.hardware import WPS_ONLY
+
+        alarm = oneshot(nominal=5_000, hardware=WPS_ONLY)
+        trace = run([alarm], horizon=10_000)
+        assert delivery_energy_mj(trace, IDEAL_DELIVERY_ONLY) == pytest.approx(
+            3_650.0
+        )
+
+    def test_two_separate_wakeups_double_wake_cost(self):
+        trace = run(
+            [oneshot(nominal=5_000), oneshot(nominal=50_000)],
+            horizon=100_000,
+        )
+        assert delivery_energy_mj(trace, IDEAL_DELIVERY_ONLY) == pytest.approx(
+            360.0
+        )
+
+
+class TestSavings:
+    def test_savings_fraction(self):
+        heavy = account(run([oneshot(nominal=5_000)]), IDEAL_DELIVERY_ONLY)
+        light = account(run([]), IDEAL_DELIVERY_ONLY)
+        assert savings_fraction(heavy, light) == pytest.approx(1.0)
+        assert savings_fraction(light, heavy) == 0.0  # zero baseline guard
+
+    def test_awake_savings_fraction(self):
+        two = account(
+            run([oneshot(nominal=5_000), oneshot(nominal=50_000)]),
+            IDEAL_DELIVERY_ONLY,
+        )
+        one = account(run([oneshot(nominal=5_000)]), IDEAL_DELIVERY_ONLY)
+        assert awake_savings_fraction(two, one) == pytest.approx(0.5)

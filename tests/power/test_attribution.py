@@ -1,0 +1,89 @@
+"""Per-app energy attribution."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import WIFI_ONLY, WPS_ONLY
+from repro.core.native import NativePolicy
+from repro.power.accounting import account
+from repro.power.attribution import (
+    attribute_energy,
+    attributed_total_mj,
+    attribution_table,
+)
+from repro.power.profiles import NEXUS5
+from repro.simulator.engine import SimulatorConfig, simulate
+
+from ..conftest import make_alarm
+
+
+def run(policy, alarms, horizon=300_000, latency=350, tail=700):
+    return simulate(
+        policy,
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=latency, tail_ms=tail),
+    )
+
+
+def two_app_alarms():
+    return [
+        make_alarm(
+            nominal=10_000, repeat=60_000, window=0, task_ms=800,
+            hardware=WIFI_ONLY, app="chatty", label="chatty",
+        ),
+        make_alarm(
+            nominal=40_000, repeat=120_000, window=0, task_ms=3_000,
+            hardware=WPS_ONLY, app="tracker", label="tracker",
+        ),
+    ]
+
+
+class TestAttribution:
+    def test_all_apps_present(self):
+        trace = run(ExactPolicy(), two_app_alarms())
+        shares = attribute_energy(trace, NEXUS5)
+        assert set(shares) == {"chatty", "tracker"}
+
+    def test_conservation_against_accounting(self):
+        trace = run(ExactPolicy(), two_app_alarms())
+        breakdown = account(trace, NEXUS5)
+        attributed = attributed_total_mj(trace, NEXUS5)
+        # Attributed shares equal total minus the sleep floor.
+        assert attributed == pytest.approx(
+            breakdown.total_mj - breakdown.sleep_mj, rel=1e-9
+        )
+
+    def test_expensive_hardware_dominates(self):
+        trace = run(ExactPolicy(), two_app_alarms())
+        shares = attribute_energy(trace, NEXUS5)
+        # WPS fixes (3,470 mJ each) dwarf Wi-Fi syncs despite fewer runs.
+        assert shares["tracker"].total_mj > shares["chatty"].total_mj
+
+    def test_shared_batch_splits_wake_cost(self):
+        alarms = [
+            make_alarm(
+                nominal=10_000, repeat=200_000, window=5_000,
+                app="a", label="a",
+            ),
+            make_alarm(
+                nominal=12_000, repeat=200_000, window=5_000,
+                app="b", label="b",
+            ),
+        ]
+        trace = run(NativePolicy(), alarms, horizon=100_000, latency=0, tail=0)
+        assert trace.wake_count() == 1
+        shares = attribute_energy(trace, NEXUS5)
+        assert shares["a"].wake_mj == pytest.approx(shares["b"].wake_mj)
+        # One Wi-Fi activation split two ways.
+        assert shares["a"].activation_mj == pytest.approx(300.0)
+
+    def test_table_ordering_and_top(self):
+        trace = run(ExactPolicy(), two_app_alarms())
+        table = attribution_table(trace, NEXUS5, top=1)
+        assert len(table) == 1
+        assert table[0].app == "tracker"
+
+    def test_empty_run(self):
+        trace = run(ExactPolicy(), [])
+        assert attribute_energy(trace, NEXUS5) == {}
+        assert attributed_total_mj(trace, NEXUS5) == 0.0

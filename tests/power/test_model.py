@@ -1,0 +1,104 @@
+"""Power model arithmetic."""
+
+import pytest
+
+from repro.core.hardware import Component, ComponentPower
+from repro.power.model import PowerModel, make_component_map
+
+
+def simple_model(**overrides):
+    defaults = dict(
+        name="test",
+        sleep_power_mw=10.0,
+        awake_base_power_mw=100.0,
+        wake_transition_energy_mj=180.0,
+        components=make_component_map(
+            ComponentPower(Component.WIFI, 600.0, 250.0),
+            ComponentPower(Component.WPS, 3_470.0, 400.0),
+        ),
+    )
+    defaults.update(overrides)
+    return PowerModel(**defaults)
+
+
+class TestValidation:
+    def test_negative_sleep_power_rejected(self):
+        with pytest.raises(ValueError):
+            simple_model(sleep_power_mw=-1.0)
+
+    def test_negative_wake_energy_rejected(self):
+        with pytest.raises(ValueError):
+            simple_model(wake_transition_energy_mj=-1.0)
+
+    def test_component_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(
+                name="bad",
+                sleep_power_mw=1.0,
+                awake_base_power_mw=1.0,
+                wake_transition_energy_mj=1.0,
+                components={
+                    Component.WIFI: ComponentPower(Component.WPS, 1.0, 1.0)
+                },
+            )
+
+    def test_duplicate_component_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_component_map(
+                ComponentPower(Component.WIFI, 1.0, 1.0),
+                ComponentPower(Component.WIFI, 2.0, 2.0),
+            )
+
+
+class TestEnergyTerms:
+    def test_sleep_energy(self):
+        # 10 mW for 1000 s = 10 J.
+        assert simple_model().sleep_energy_mj(1_000_000) == pytest.approx(
+            10_000.0
+        )
+
+    def test_awake_base_energy(self):
+        assert simple_model().awake_base_energy_mj(10_000) == pytest.approx(
+            1_000.0
+        )
+
+    def test_wake_transitions(self):
+        assert simple_model().wake_transitions_energy_mj(3) == pytest.approx(
+            540.0
+        )
+
+    def test_activation_energy(self):
+        model = simple_model()
+        assert model.activation_energy_mj(Component.WIFI, 2) == pytest.approx(
+            1_200.0
+        )
+
+    def test_hold_energy(self):
+        model = simple_model()
+        # 250 mW for 4 s = 1 J.
+        assert model.hold_energy_mj(Component.WIFI, 4_000) == pytest.approx(
+            1_000.0
+        )
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            simple_model().component_spec(Component.GPS)
+
+
+class TestSingleDelivery:
+    def test_bare_wakeup(self):
+        assert simple_model().single_delivery_energy_mj({}) == pytest.approx(
+            180.0
+        )
+
+    def test_wps_fix_matches_paper_anchor(self):
+        # Sec. 2.2: one WPS delivery = 3,650 mJ (with zero hold time).
+        model = simple_model()
+        assert model.single_delivery_energy_mj(
+            {Component.WPS: 0}
+        ) == pytest.approx(3_650.0)
+
+    def test_hold_time_included(self):
+        model = simple_model()
+        energy = model.single_delivery_energy_mj({Component.WIFI: 2_000})
+        assert energy == pytest.approx(180.0 + 600.0 + 500.0)

@@ -1,0 +1,77 @@
+"""Calibrated profiles: the paper's measured anchors."""
+
+import pytest
+
+from repro.core.hardware import Component
+from repro.power.profiles import (
+    IDEAL_DELIVERY_ONLY,
+    NEXUS5,
+    NEXUS5_BATTERY_MJ,
+    PROFILES,
+)
+
+
+class TestNexus5Anchors:
+    def test_wake_energy_is_180mj(self):
+        assert NEXUS5.wake_transition_energy_mj == 180.0
+
+    def test_wps_delivery_is_3650mj(self):
+        # "each alarm delivery for location positioning consumes 3,650 mJ"
+        assert NEXUS5.single_delivery_energy_mj(
+            {Component.WPS: 0}
+        ) == pytest.approx(3_650.0)
+
+    def test_calendar_delivery_is_400mj(self):
+        # "the alarm delivery for calendar notification consumes 400 mJ"
+        assert NEXUS5.single_delivery_energy_mj(
+            {Component.SPEAKER_VIBRATOR: 0}
+        ) == pytest.approx(400.0)
+
+    def test_battery_capacity(self):
+        # 3.8 V x 2300 mAh = 31.46 kJ.
+        assert NEXUS5_BATTERY_MJ == pytest.approx(31_464_000.0)
+
+    def test_all_evaluation_components_present(self):
+        for component in (
+            Component.WIFI,
+            Component.WPS,
+            Component.ACCELEROMETER,
+            Component.SPEAKER_VIBRATOR,
+        ):
+            assert NEXUS5.component_spec(component)
+
+
+class TestWearableProfile:
+    def test_registered(self):
+        from repro.power.profiles import WEARABLE
+
+        assert PROFILES["wearable"] is WEARABLE
+
+    def test_sleep_floor_much_lower_than_phone(self):
+        from repro.power.profiles import WEARABLE
+
+        assert WEARABLE.sleep_power_mw < 0.2 * NEXUS5.sleep_power_mw
+
+    def test_battery_much_smaller(self):
+        from repro.power.profiles import WEARABLE
+
+        assert WEARABLE.battery_capacity_mj < 0.2 * NEXUS5.battery_capacity_mj
+
+    def test_prices_all_components(self):
+        from repro.power.profiles import WEARABLE
+
+        for component in NEXUS5.components:
+            assert WEARABLE.component_spec(component) is not None
+
+
+class TestIdealProfile:
+    def test_no_baseline_power(self):
+        assert IDEAL_DELIVERY_ONLY.sleep_power_mw == 0.0
+        assert IDEAL_DELIVERY_ONLY.awake_base_power_mw == 0.0
+
+    def test_shares_component_specs(self):
+        assert IDEAL_DELIVERY_ONLY.components is NEXUS5.components
+
+    def test_registry(self):
+        assert PROFILES["nexus5"] is NEXUS5
+        assert PROFILES["ideal"] is IDEAL_DELIVERY_ONLY

@@ -1,0 +1,70 @@
+"""Alarm manager: queue separation and policy dispatch."""
+
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.simulator.alarm_manager import AlarmManager
+
+from ..conftest import make_alarm
+
+
+class TestQueueSeparation:
+    def test_wakeup_and_nonwakeup_queued_separately(self):
+        manager = AlarmManager(NativePolicy())
+        wakeup = make_alarm(nominal=1_000, window=5_000, wakeup=True)
+        nonwakeup = make_alarm(nominal=1_200, window=5_000, wakeup=False)
+        manager.register(wakeup, 0)
+        manager.register(nonwakeup, 0)
+        assert manager.wakeup_queue.alarm_count() == 1
+        assert manager.nonwakeup_queue.alarm_count() == 1
+
+    def test_overlapping_wakeup_and_nonwakeup_never_share_entries(self):
+        # Sec. 2.1: the policy is applied to the two classes separately.
+        manager = AlarmManager(SimtyPolicy())
+        manager.register(make_alarm(nominal=1_000, window=5_000), 0)
+        manager.register(
+            make_alarm(nominal=1_200, window=5_000, wakeup=False), 0
+        )
+        assert len(manager.wakeup_queue) == 1
+        assert len(manager.nonwakeup_queue) == 1
+
+    def test_queue_for(self):
+        manager = AlarmManager(NativePolicy())
+        assert manager.queue_for(make_alarm()) is manager.wakeup_queue
+        assert (
+            manager.queue_for(make_alarm(wakeup=False))
+            is manager.nonwakeup_queue
+        )
+
+
+class TestOperations:
+    def test_cancel(self):
+        manager = AlarmManager(NativePolicy())
+        alarm = make_alarm(nominal=1_000, window=100)
+        manager.register(alarm, 0)
+        assert manager.cancel(alarm)
+        assert not manager.cancel(alarm)
+        assert manager.pending_alarm_count() == 0
+
+    def test_next_times(self):
+        manager = AlarmManager(NativePolicy())
+        assert manager.next_wakeup_time() is None
+        manager.register(make_alarm(nominal=4_000, window=100), 0)
+        assert manager.next_wakeup_time() == 4_000
+        assert manager.next_nonwakeup_time() is None
+
+    def test_pop_due_wakeup(self):
+        manager = AlarmManager(NativePolicy())
+        manager.register(make_alarm(nominal=4_000, window=100), 0)
+        assert manager.pop_due_wakeup(3_999) is None
+        assert manager.pop_due_wakeup(4_000) is not None
+
+    def test_reinsert_dispatches_to_policy(self):
+        manager = AlarmManager(SimtyPolicy())
+        alarm = make_alarm(nominal=1_000, window=10, grace=30_000)
+        manager.register(alarm, 0)
+        alarm.record_delivery(1_000)
+        alarm.reschedule(1_000)
+        manager.wakeup_queue.remove_alarm(alarm)
+        entry = manager.reinsert(alarm, 1_000)
+        assert entry.contains_alarm_id(alarm.alarm_id)
+        assert manager.wakeup_queue.alarm_count() == 1

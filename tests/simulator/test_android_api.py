@@ -1,0 +1,108 @@
+"""The Android-flavoured AlarmManager facade."""
+
+import pytest
+
+from repro.core.alarm import RepeatKind
+from repro.core.hardware import WIFI_ONLY
+from repro.core.simty import SimtyPolicy
+from repro.simulator.android_api import AndroidAlarmManagerFacade
+from repro.simulator.engine import Simulator, SimulatorConfig
+
+
+def run_with(facade, horizon=400_000):
+    simulator = Simulator(
+        SimtyPolicy(),
+        config=SimulatorConfig(horizon=horizon, wake_latency_ms=0, tail_ms=0),
+    )
+    facade.apply(simulator)
+    return simulator.run()
+
+
+class TestOneShots:
+    def test_set_is_inexact(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set(trigger_at_ms=50_000, tag="sync")
+        assert alarm.repeat_kind is RepeatKind.ONE_SHOT
+        assert alarm.window_length == 60_000
+
+    def test_set_exact_has_zero_window(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set_exact(trigger_at_ms=50_000, tag="clock")
+        assert alarm.window_length == 0
+
+    def test_set_window_explicit(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set_window(
+            window_start_ms=10_000, window_length_ms=5_000, tag="w"
+        )
+        assert alarm.window_interval().end == 15_000
+
+
+class TestRepeating:
+    def test_set_repeating_uses_android_alpha(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set_repeating(
+            trigger_at_ms=60_000, interval_ms=60_000, tag="poll"
+        )
+        assert alarm.window_length == 45_000  # 0.75 x interval
+        assert alarm.grace_length == 57_600   # 0.96 x interval
+
+    def test_exact_repeating_pins_grid(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set_exact_repeating(
+            trigger_at_ms=60_000, interval_ms=60_000, tag="tick"
+        )
+        assert alarm.window_length == 0
+        assert alarm.repeat_kind is RepeatKind.STATIC
+
+    def test_dynamic_flag(self):
+        facade = AndroidAlarmManagerFacade()
+        alarm = facade.set_repeating(
+            trigger_at_ms=60_000, interval_ms=60_000, tag="fb", dynamic=True
+        )
+        assert alarm.repeat_kind is RepeatKind.DYNAMIC
+
+    def test_grace_never_below_window(self):
+        facade = AndroidAlarmManagerFacade(grace_fraction=0.5)
+        alarm = facade.set_repeating(
+            trigger_at_ms=60_000, interval_ms=60_000, tag="x"
+        )
+        assert alarm.grace_length == alarm.window_length
+
+
+class TestLifecycle:
+    def test_duplicate_tag_rejected(self):
+        facade = AndroidAlarmManagerFacade()
+        facade.set(trigger_at_ms=1_000, tag="dup")
+        with pytest.raises(ValueError):
+            facade.set(trigger_at_ms=2_000, tag="dup")
+
+    def test_cancel_removes_pending(self):
+        facade = AndroidAlarmManagerFacade()
+        facade.set_exact(trigger_at_ms=50_000, tag="gone")
+        facade.set_exact(trigger_at_ms=60_000, tag="stays")
+        facade.cancel("gone")
+        assert facade.pending_tags() == ["stays"]
+        trace = run_with(facade)
+        labels = {record.label for record in trace.deliveries()}
+        assert labels == {"stays"}
+
+    def test_cancel_unknown_tag_is_noop(self):
+        facade = AndroidAlarmManagerFacade()
+        facade.cancel("ghost")
+        assert facade.pending_tags() == []
+
+    def test_end_to_end_simulation(self):
+        facade = AndroidAlarmManagerFacade()
+        facade.set_repeating(
+            trigger_at_ms=60_000, interval_ms=60_000, tag="messenger",
+            hardware=WIFI_ONLY, task_duration=800,
+        )
+        facade.set_repeating(
+            trigger_at_ms=90_000, interval_ms=120_000, tag="mail",
+            hardware=WIFI_ONLY, task_duration=800,
+        )
+        trace = run_with(facade)
+        assert trace.delivery_count() >= 7
+        # SIMTY aligned the two Wi-Fi pollers at least once.
+        assert any(len(batch.alarms) == 2 for batch in trace.batches)

@@ -1,0 +1,65 @@
+"""Mid-run alarm cancellation."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.native import NativePolicy
+from repro.simulator.engine import Simulator, SimulatorConfig
+
+from ..conftest import make_alarm, oneshot
+
+
+def config(horizon=200_000):
+    return SimulatorConfig(horizon=horizon, wake_latency_ms=0, tail_ms=0)
+
+
+class TestCancellation:
+    def test_cancelled_before_delivery_never_fires(self):
+        simulator = Simulator(ExactPolicy(), config=config())
+        alarm = oneshot(nominal=50_000)
+        simulator.add_alarm(alarm)
+        simulator.cancel_alarm(alarm, at=10_000)
+        trace = simulator.run()
+        assert trace.delivery_count() == 0
+        assert trace.wake_count() == 0
+
+    def test_cancel_after_delivery_is_noop(self):
+        simulator = Simulator(ExactPolicy(), config=config())
+        alarm = oneshot(nominal=50_000)
+        simulator.add_alarm(alarm)
+        simulator.cancel_alarm(alarm, at=60_000)
+        trace = simulator.run()
+        assert trace.delivery_count() == 1
+
+    def test_repeating_alarm_stops_at_cancellation(self):
+        simulator = Simulator(ExactPolicy(), config=config())
+        alarm = make_alarm(nominal=20_000, repeat=20_000, window=0)
+        simulator.add_alarm(alarm)
+        simulator.cancel_alarm(alarm, at=90_000)
+        trace = simulator.run()
+        # Deliveries at 20, 40, 60, 80 s; the 100 s occurrence is cancelled.
+        assert trace.delivery_count() == 4
+
+    def test_cancel_inside_shared_batch_spares_other_members(self):
+        simulator = Simulator(NativePolicy(), config=config())
+        keep = make_alarm(nominal=50_000, repeat=150_000, window=5_000, label="keep")
+        drop = make_alarm(nominal=52_000, repeat=150_000, window=5_000, label="drop")
+        simulator.add_alarm(keep)
+        simulator.add_alarm(drop)
+        simulator.cancel_alarm(drop, at=10_000)
+        trace = simulator.run()
+        labels = [record.label for record in trace.deliveries()]
+        assert "keep" in labels
+        assert "drop" not in labels
+
+    def test_negative_cancellation_time_rejected(self):
+        simulator = Simulator(ExactPolicy())
+        with pytest.raises(ValueError):
+            simulator.cancel_alarm(oneshot(), at=-1)
+
+    def test_cancel_unregistered_alarm_is_noop(self):
+        simulator = Simulator(ExactPolicy(), config=config())
+        simulator.add_alarm(oneshot(nominal=50_000))
+        simulator.cancel_alarm(oneshot(nominal=80_000), at=10_000)
+        trace = simulator.run()
+        assert trace.delivery_count() == 1

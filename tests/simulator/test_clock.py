@@ -1,0 +1,41 @@
+"""Virtual clock."""
+
+import pytest
+
+from repro.simulator.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(1_000)
+        assert clock.now == 1_000
+
+    def test_advance_to_same_instant_allowed(self):
+        clock = VirtualClock(100)
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(100)
+        with pytest.raises(ValueError):
+            clock.advance_to(99)
+
+    def test_advance_by(self):
+        clock = VirtualClock(10)
+        clock.advance_by(5)
+        assert clock.now == 15
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1)

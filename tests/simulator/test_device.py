@@ -1,0 +1,111 @@
+"""Device sleep/wake state machine."""
+
+import pytest
+
+from repro.simulator.device import Device, WakeReason
+
+
+class TestTransitions:
+    def test_starts_asleep(self):
+        assert not Device().awake
+
+    def test_wake_opens_session(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        assert device.awake
+        assert len(device.sessions) == 1
+        assert device.sessions[0].start == 1_000
+
+    def test_double_wake_is_noop(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        device.wake(1_500, WakeReason.EXTERNAL)
+        assert len(device.sessions) == 1
+
+    def test_sleep_requires_tail_elapsed(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        assert not device.try_sleep(1_050)
+        assert device.try_sleep(1_100)
+        assert not device.awake
+
+    def test_session_end_recorded_at_sleep_at(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        device.try_sleep(5_000)
+        assert device.sessions[0].end == 1_100
+
+    def test_busy_extends_sleep_time(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        device.extend_busy(1_000, 500)
+        assert device.sleep_at == 1_600
+        assert not device.try_sleep(1_100)
+        assert device.try_sleep(1_600)
+
+    def test_busy_serializes(self):
+        device = Device(tail_ms=0)
+        device.wake(0, WakeReason.ALARM)
+        end1 = device.extend_busy(0, 300)
+        end2 = device.extend_busy(100, 300)
+        assert end1 == 300
+        assert end2 == 600
+
+    def test_cannot_run_tasks_asleep(self):
+        with pytest.raises(RuntimeError):
+            Device().extend_busy(0, 100)
+
+    def test_sleep_at_requires_awake(self):
+        with pytest.raises(RuntimeError):
+            _ = Device().sleep_at
+
+    def test_force_sleep_closes_open_session(self):
+        device = Device(tail_ms=10_000)
+        device.wake(1_000, WakeReason.ALARM)
+        device.force_sleep(2_000)
+        assert not device.awake
+        assert device.sessions[0].end == 2_000
+
+    def test_force_sleep_when_asleep_is_noop(self):
+        device = Device()
+        device.force_sleep(1_000)
+        assert device.sessions == []
+
+
+class TestAccounting:
+    def test_total_awake(self):
+        device = Device(tail_ms=100)
+        device.wake(1_000, WakeReason.ALARM)
+        device.try_sleep(1_100)
+        device.wake(5_000, WakeReason.ALARM)
+        device.try_sleep(5_100)
+        assert device.total_awake_ms(10_000) == 200
+
+    def test_open_session_clipped_at_horizon(self):
+        device = Device(tail_ms=1_000_000)
+        device.wake(9_000, WakeReason.ALARM)
+        assert device.total_awake_ms(10_000) == 1_000
+
+    def test_wake_count(self):
+        device = Device(tail_ms=0)
+        for start in (100, 300, 500):
+            device.wake(start, WakeReason.ALARM)
+            device.try_sleep(start)
+        assert device.wake_count() == 3
+
+    def test_note_batch_counts(self):
+        device = Device(tail_ms=0)
+        device.wake(100, WakeReason.ALARM)
+        device.note_batch()
+        device.note_batch()
+        assert device.sessions[0].batches == 2
+
+    def test_note_batch_requires_open_session(self):
+        with pytest.raises(RuntimeError):
+            Device().note_batch()
+
+    def test_session_duration(self):
+        device = Device(tail_ms=50)
+        device.wake(0, WakeReason.EXTERNAL)
+        device.try_sleep(50)
+        assert device.sessions[0].duration == 50

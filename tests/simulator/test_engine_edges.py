@@ -1,0 +1,117 @@
+"""Engine edge cases: boundaries, simultaneity, configuration."""
+
+import pytest
+
+from repro.core.exact import ExactPolicy
+from repro.core.native import NativePolicy
+from repro.simulator.engine import Simulator, SimulatorConfig, simulate
+from repro.simulator.external import ExternalWake
+
+from ..conftest import make_alarm, oneshot
+
+
+class TestConfigValidation:
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(horizon=0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(horizon=-1)
+
+
+class TestSimultaneity:
+    def test_two_entries_due_at_same_instant_one_wake(self):
+        alarms = [oneshot(nominal=50_000), oneshot(nominal=50_000)]
+        trace = simulate(
+            ExactPolicy(),
+            alarms,
+            SimulatorConfig(horizon=100_000, wake_latency_ms=0, tail_ms=0),
+        )
+        assert trace.batch_count() == 2
+        assert trace.wake_count() == 1
+        assert all(b.delivered_at == 50_000 for b in trace.batches)
+
+    def test_registration_and_delivery_same_instant(self):
+        simulator = Simulator(
+            ExactPolicy(),
+            config=SimulatorConfig(
+                horizon=100_000, wake_latency_ms=0, tail_ms=0
+            ),
+        )
+        simulator.add_alarm(oneshot(nominal=50_000), at=0)
+        # Registered at the very instant the other alarm delivers, with an
+        # already-past nominal: delivered immediately in the same step.
+        simulator.add_alarm(oneshot(nominal=50_000, window=0), at=50_000)
+        trace = simulator.run()
+        assert trace.delivery_count() == 2
+        assert trace.wake_count() == 1
+
+    def test_external_wake_and_alarm_same_instant(self):
+        trace = simulate(
+            ExactPolicy(),
+            [oneshot(nominal=50_000)],
+            SimulatorConfig(horizon=100_000, wake_latency_ms=300, tail_ms=0),
+            external_events=[ExternalWake(time=50_000, hold_ms=1_000)],
+        )
+        # The external wake opens the session first, so the alarm pays no
+        # RTC latency.
+        assert trace.wake_count() == 1
+        assert trace.deliveries()[0].delivered_at == 50_000
+
+
+class TestBoundaries:
+    def test_first_tick_delivery(self):
+        trace = simulate(
+            ExactPolicy(),
+            [oneshot(nominal=0, window=0)],
+            SimulatorConfig(horizon=10_000, wake_latency_ms=0, tail_ms=0),
+        )
+        assert trace.delivery_count() == 1
+        assert trace.deliveries()[0].delivered_at == 0
+
+    def test_wake_just_before_horizon_session_consistent(self):
+        trace = simulate(
+            ExactPolicy(),
+            [oneshot(nominal=99_990)],
+            SimulatorConfig(horizon=100_000, wake_latency_ms=350, tail_ms=0),
+        )
+        assert trace.delivery_count() == 1
+        batch = trace.batches[0]
+        session = trace.sessions[0]
+        assert session.end >= batch.delivered_at
+        assert trace.total_awake_ms() <= 100_000
+
+    def test_no_external_events_after_horizon(self):
+        trace = simulate(
+            ExactPolicy(),
+            [],
+            SimulatorConfig(horizon=100_000),
+            external_events=[ExternalWake(time=150_000)],
+        )
+        assert trace.wake_count() == 0
+
+
+class TestRealignmentThroughEngine:
+    def test_app_reregistration_triggers_native_rebatch(self):
+        simulator = Simulator(
+            NativePolicy(),
+            config=SimulatorConfig(
+                horizon=300_000, wake_latency_ms=0, tail_ms=0
+            ),
+        )
+        alarm = make_alarm(nominal=100_000, repeat=100_000, window=50_000)
+        other = make_alarm(nominal=110_000, repeat=100_000, window=50_000)
+        simulator.add_alarm(alarm, at=0)
+        simulator.add_alarm(other, at=0)
+        # The app re-registers `alarm` with a new nominal while the old
+        # instance is still queued (engine path -> manager.register).
+        alarm_again = alarm
+        simulator.add_alarm(alarm_again, at=50_000)
+        trace = simulator.run()
+        # No duplicate deliveries of the same occurrence.
+        seen = set()
+        for record in trace.deliveries():
+            key = (record.alarm_id, record.nominal_time)
+            assert key not in seen
+            seen.add(key)

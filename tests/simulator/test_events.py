@@ -1,0 +1,46 @@
+"""Chronological event-log view."""
+
+from repro.core.exact import ExactPolicy
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.events import EventKind, event_log
+
+from ..conftest import oneshot
+
+
+def sample_trace():
+    return simulate(
+        ExactPolicy(),
+        [oneshot(nominal=5_000), oneshot(nominal=20_000)],
+        SimulatorConfig(horizon=60_000, wake_latency_ms=0, tail_ms=100),
+    )
+
+
+class TestEventLog:
+    def test_contains_all_kinds(self):
+        kinds = {event.kind for event in event_log(sample_trace())}
+        assert kinds == {
+            EventKind.REGISTER,
+            EventKind.WAKE,
+            EventKind.BATCH,
+            EventKind.DELIVER,
+            EventKind.SLEEP,
+        }
+
+    def test_chronological(self):
+        times = [event.time for event in event_log(sample_trace())]
+        assert times == sorted(times)
+
+    def test_counts(self):
+        events = event_log(sample_trace())
+        registers = [e for e in events if e.kind is EventKind.REGISTER]
+        wakes = [e for e in events if e.kind is EventKind.WAKE]
+        sleeps = [e for e in events if e.kind is EventKind.SLEEP]
+        assert len(registers) == 2
+        assert len(wakes) == 2
+        assert len(sleeps) == 2
+
+    def test_format_is_line_oriented(self):
+        events = event_log(sample_trace())
+        line = events[0].format()
+        assert "\n" not in line
+        assert events[0].kind.value in line

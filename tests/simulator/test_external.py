@@ -1,0 +1,54 @@
+"""External wake event generation."""
+
+import pytest
+
+from repro.simulator.external import ExternalWake, poisson_wakes, schedule
+
+
+class TestExternalWake:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalWake(time=-1)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalWake(time=0, hold_ms=-1)
+
+    def test_schedule_sorts(self):
+        events = schedule(
+            [ExternalWake(time=500), ExternalWake(time=100)]
+        )
+        assert [event.time for event in events] == [100, 500]
+
+
+class TestPoissonWakes:
+    def test_zero_rate_is_empty(self):
+        assert poisson_wakes(0.0, horizon=3_600_000) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_wakes(-1.0, horizon=1_000)
+
+    def test_deterministic_for_seed(self):
+        first = poisson_wakes(10.0, horizon=3_600_000, seed=42)
+        second = poisson_wakes(10.0, horizon=3_600_000, seed=42)
+        assert [e.time for e in first] == [e.time for e in second]
+
+    def test_different_seeds_differ(self):
+        first = poisson_wakes(10.0, horizon=3_600_000, seed=1)
+        second = poisson_wakes(10.0, horizon=3_600_000, seed=2)
+        assert [e.time for e in first] != [e.time for e in second]
+
+    def test_all_events_within_horizon(self):
+        events = poisson_wakes(30.0, horizon=1_800_000, seed=7)
+        assert all(0 <= event.time < 1_800_000 for event in events)
+
+    def test_rate_roughly_respected(self):
+        events = poisson_wakes(60.0, horizon=3_600_000, seed=5)
+        # 60/h over one hour: expect about 60, allow broad tolerance.
+        assert 30 <= len(events) <= 90
+
+    def test_events_time_ordered(self):
+        events = poisson_wakes(20.0, horizon=3_600_000, seed=9)
+        times = [event.time for event in events]
+        assert times == sorted(times)

@@ -1,0 +1,77 @@
+"""Non-wakeup alarm alignment semantics (Sec. 2.1 / 3.2.2 last paragraph).
+
+The policy "is applied to wakeup and non-wakeup alarms separately"; while
+the device stays awake, non-wakeup alarms behave exactly like wakeup
+alarms, and while asleep they wait for the next wake from any cause.
+"""
+
+from repro.core.simty import SimtyPolicy
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.external import ExternalWake
+
+from ..conftest import make_alarm
+
+
+def config(horizon=300_000):
+    return SimulatorConfig(horizon=horizon, wake_latency_ms=0, tail_ms=0)
+
+
+class TestNonWakeupAlignment:
+    def test_nonwakeup_alarms_grace_align_with_each_other(self):
+        early = make_alarm(
+            nominal=10_000, repeat=200_000, window=0, grace=60_000,
+            wakeup=False, label="nw-early",
+        )
+        late = make_alarm(
+            nominal=50_000, repeat=200_000, window=0, grace=60_000,
+            wakeup=False, label="nw-late",
+        )
+        # Keep the device awake over the whole window of interest.
+        trace = simulate(
+            SimtyPolicy(),
+            [early, late],
+            config(),
+            external_events=[ExternalWake(time=1_000, hold_ms=120_000)],
+        )
+        batches = [
+            sorted(record.label for record in batch.alarms)
+            for batch in trace.batches
+        ]
+        assert ["nw-early", "nw-late"] in batches
+        # Grace alignment delivered both at the later nominal.
+        joint = next(
+            batch
+            for batch in trace.batches
+            if len(batch.alarms) == 2
+        )
+        assert joint.delivered_at == 50_000
+
+    def test_nonwakeup_never_mixes_with_wakeup_batches(self):
+        wakeup = make_alarm(
+            nominal=20_000, repeat=200_000, window=0, grace=60_000,
+            label="wk",
+        )
+        nonwakeup = make_alarm(
+            nominal=20_000, repeat=200_000, window=0, grace=60_000,
+            wakeup=False, label="nw",
+        )
+        trace = simulate(SimtyPolicy(), [wakeup, nonwakeup], config())
+        for batch in trace.batches:
+            kinds = {record.wakeup for record in batch.alarms}
+            assert len(kinds) == 1
+
+    def test_sleeping_device_defers_nonwakeup_past_grace(self):
+        # Grace guarantees apply only while awake; a sleeping device may
+        # exceed them for non-wakeup alarms (explicitly allowed, Sec. 3.2.1).
+        nonwakeup = make_alarm(
+            nominal=10_000, repeat=250_000, window=0, grace=20_000,
+            wakeup=False, label="nw",
+        )
+        waker = make_alarm(
+            nominal=100_000, repeat=250_000, window=0, grace=20_000,
+            label="wk",
+        )
+        trace = simulate(SimtyPolicy(), [nonwakeup, waker], config())
+        record = trace.deliveries_for("nw")[0]
+        assert record.delivered_at == 100_000
+        assert record.grace_delay > 0

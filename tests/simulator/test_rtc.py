@@ -1,0 +1,26 @@
+"""RTC wake latency."""
+
+import pytest
+
+from repro.simulator.rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
+
+
+class TestRealTimeClock:
+    def test_default_latency(self):
+        assert RealTimeClock().wake_latency_ms == DEFAULT_WAKE_LATENCY_MS
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimeClock(-1)
+
+    def test_fire_from_sleep_pays_latency(self):
+        rtc = RealTimeClock(350)
+        assert rtc.resume_time(10_000, device_awake=False) == 10_350
+
+    def test_fire_while_awake_is_immediate(self):
+        rtc = RealTimeClock(350)
+        assert rtc.resume_time(10_000, device_awake=True) == 10_000
+
+    def test_zero_latency(self):
+        rtc = RealTimeClock(0)
+        assert rtc.resume_time(10_000, device_awake=False) == 10_000

@@ -1,0 +1,58 @@
+"""Task scheduling and component hold times."""
+
+from repro.core.hardware import Component, WIFI_ONLY, WPS_ONLY
+from repro.simulator.tasks import component_hold_times, schedule_batch_tasks
+
+from ..conftest import make_alarm
+
+
+class TestScheduling:
+    def test_tasks_serialize(self):
+        alarms = [
+            make_alarm(task_ms=300, label="a"),
+            make_alarm(nominal=1_100, task_ms=200, label="b"),
+        ]
+        tasks = schedule_batch_tasks(alarms, start=5_000)
+        assert tasks[0].start == 5_000 and tasks[0].end == 5_300
+        assert tasks[1].start == 5_300 and tasks[1].end == 5_500
+
+    def test_membership_order_preserved(self):
+        alarms = [make_alarm(label=f"t{i}") for i in range(5)]
+        tasks = schedule_batch_tasks(alarms, start=0)
+        assert [task.label for task in tasks] == [a.label for a in alarms]
+
+    def test_zero_duration_tasks(self):
+        tasks = schedule_batch_tasks([make_alarm(task_ms=0)], start=100)
+        assert tasks[0].start == tasks[0].end == 100
+
+    def test_uses_true_hardware(self):
+        alarm = make_alarm(hardware=WPS_ONLY, known=False)
+        tasks = schedule_batch_tasks([alarm], start=0)
+        # The task reflects what the alarm will actually wakelock, even if
+        # the policy has not observed it yet.
+        assert Component.WPS in tasks[0].hardware
+
+
+class TestHoldTimes:
+    def test_shared_component_sums_durations(self):
+        alarms = [
+            make_alarm(task_ms=300, hardware=WIFI_ONLY),
+            make_alarm(nominal=1_100, task_ms=200, hardware=WIFI_ONLY),
+        ]
+        holds = component_hold_times(schedule_batch_tasks(alarms, start=0))
+        assert holds == {Component.WIFI: 500}
+
+    def test_distinct_components(self):
+        alarms = [
+            make_alarm(task_ms=300, hardware=WIFI_ONLY),
+            make_alarm(nominal=1_100, task_ms=200, hardware=WPS_ONLY),
+        ]
+        holds = component_hold_times(schedule_batch_tasks(alarms, start=0))
+        assert holds[Component.WIFI] == 300
+        assert holds[Component.WPS] == 200
+
+    def test_empty_hardware_contributes_nothing(self):
+        from repro.core.hardware import EMPTY_HARDWARE
+
+        alarms = [make_alarm(task_ms=300, hardware=EMPTY_HARDWARE)]
+        assert component_hold_times(schedule_batch_tasks(alarms, 0)) == {}

@@ -1,0 +1,97 @@
+"""Trace records and accessors."""
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import SPEAKER_VIBRATOR_ONLY, WIFI_ONLY
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.trace import snapshot_delivery
+
+from ..conftest import make_alarm, oneshot
+
+
+def run(alarms, horizon=100_000, latency=0, tail=0):
+    return simulate(
+        ExactPolicy(),
+        alarms,
+        SimulatorConfig(horizon=horizon, wake_latency_ms=latency, tail_ms=tail),
+    )
+
+
+class TestSnapshot:
+    def test_snapshot_captures_occurrence(self):
+        alarm = make_alarm(nominal=10_000, repeat=60_000, window=5_000)
+        record = snapshot_delivery(alarm, delivered_at=12_000, batch_index=0)
+        assert record.nominal_time == 10_000
+        assert record.window_end == 15_000
+        assert record.delivered_at == 12_000
+
+    def test_snapshot_uses_true_hardware_for_perceptibility(self):
+        alarm = make_alarm(hardware=SPEAKER_VIBRATOR_ONLY, known=False)
+        record = snapshot_delivery(alarm, delivered_at=1_000, batch_index=0)
+        assert record.perceptible
+
+    def test_one_shot_always_perceptible(self):
+        record = snapshot_delivery(
+            oneshot(hardware=WIFI_ONLY), delivered_at=1_000, batch_index=0
+        )
+        assert record.perceptible
+
+    def test_window_delay_zero_inside_window(self):
+        alarm = make_alarm(nominal=10_000, repeat=60_000, window=5_000)
+        record = snapshot_delivery(alarm, delivered_at=15_000, batch_index=0)
+        assert record.window_delay == 0
+
+    def test_window_delay_behind_window(self):
+        alarm = make_alarm(nominal=10_000, repeat=60_000, window=5_000)
+        record = snapshot_delivery(alarm, delivered_at=16_000, batch_index=0)
+        assert record.window_delay == 1_000
+
+    def test_normalized_delay_repeating(self):
+        alarm = make_alarm(nominal=10_000, repeat=60_000, window=5_000)
+        record = snapshot_delivery(alarm, delivered_at=21_000, batch_index=0)
+        assert record.normalized_delay == 6_000 / 60_000
+
+    def test_normalized_delay_one_shot_uses_window(self):
+        record = snapshot_delivery(
+            oneshot(nominal=10_000, window=1_000),
+            delivered_at=11_500,
+            batch_index=0,
+        )
+        assert record.normalized_delay == 0.5
+
+    def test_normalized_delay_point_one_shot(self):
+        record = snapshot_delivery(
+            oneshot(nominal=10_000, window=0), delivered_at=10_100, batch_index=0
+        )
+        assert record.normalized_delay == 1.0
+
+    def test_grace_delay(self):
+        alarm = make_alarm(
+            nominal=10_000, repeat=60_000, window=5_000, grace=20_000
+        )
+        record = snapshot_delivery(alarm, delivered_at=31_000, batch_index=0)
+        assert record.grace_delay == 1_000
+
+
+class TestTraceAccessors:
+    def test_deliveries_for_label(self):
+        alarm = make_alarm(nominal=10_000, repeat=20_000, window=0, label="x")
+        trace = run([alarm], horizon=70_000)
+        assert len(trace.deliveries_for("x")) == 3
+        assert trace.deliveries_for("nope") == []
+
+    def test_awake_plus_sleep_equals_horizon(self):
+        trace = run([oneshot(nominal=5_000)], horizon=50_000, tail=700)
+        assert trace.total_awake_ms() + trace.total_sleep_ms() == 50_000
+
+    def test_last_delivery_time(self):
+        trace = run([oneshot(nominal=5_000), oneshot(nominal=9_000)])
+        assert trace.last_delivery_time() == 9_000
+
+    def test_last_delivery_time_empty(self):
+        trace = run([])
+        assert trace.last_delivery_time() is None
+
+    def test_batch_count_and_delivery_count(self):
+        trace = run([oneshot(nominal=5_000), oneshot(nominal=9_000)])
+        assert trace.batch_count() == 2
+        assert trace.delivery_count() == 2

@@ -1,0 +1,29 @@
+"""Wakelock ledger aggregation."""
+
+from repro.core.hardware import Component
+from repro.simulator.wakelock import WakelockLedger
+
+
+class TestWakelockLedger:
+    def test_activation_counted_once_per_batch(self):
+        ledger = WakelockLedger()
+        ledger.record_batch({Component.WIFI: 500})
+        ledger.record_batch({Component.WIFI: 300})
+        assert ledger.activations(Component.WIFI) == 2
+        assert ledger.hold_ms(Component.WIFI) == 800
+
+    def test_multiple_components_in_one_batch(self):
+        ledger = WakelockLedger()
+        ledger.record_batch({Component.WIFI: 500, Component.WPS: 4_000})
+        assert ledger.activations(Component.WIFI) == 1
+        assert ledger.activations(Component.WPS) == 1
+
+    def test_unused_component_reads_zero(self):
+        ledger = WakelockLedger()
+        assert ledger.activations(Component.GPS) == 0
+        assert ledger.hold_ms(Component.GPS) == 0
+
+    def test_components_listing(self):
+        ledger = WakelockLedger()
+        ledger.record_batch({Component.WIFI: 1})
+        assert set(ledger.components()) == {Component.WIFI}

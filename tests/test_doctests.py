@@ -1,0 +1,17 @@
+"""Run the doctests embedded in docstrings."""
+
+import doctest
+
+import repro.core.intervals
+import repro.core.units
+
+
+def test_units_doctests():
+    results = doctest.testmod(repro.core.units, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 2
+
+
+def test_intervals_doctests():
+    results = doctest.testmod(repro.core.intervals, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,62 @@
+"""Public API surface checks."""
+
+import subprocess
+import sys
+
+import repro
+
+
+class TestPackageSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.metrics
+        import repro.power
+        import repro.simulator
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.core,
+            repro.metrics,
+            repro.power,
+            repro.simulator,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_is_valid(self):
+        # The usage snippet in the package docstring must keep working.
+        from repro import run_pair
+
+        pair = run_pair("light")
+        assert pair.comparison.total_savings > 0
+
+
+class TestEntryPoints:
+    def test_python_dash_m_help(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "simty" in completed.stdout
+
+    def test_python_dash_m_requires_command(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode != 0

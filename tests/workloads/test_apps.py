@@ -1,0 +1,100 @@
+"""The Table 3 catalog."""
+
+import pytest
+
+from repro.core.alarm import RepeatKind
+from repro.core.hardware import Component
+from repro.workloads.apps import (
+    ANDROID_DEFAULT_ALPHA,
+    PAPER_BETA,
+    TABLE3_APPS,
+    app_by_name,
+    heavy_apps,
+    light_apps,
+)
+
+
+class TestCatalogContents:
+    def test_eighteen_apps(self):
+        assert len(TABLE3_APPS) == 18
+
+    def test_light_workload_composition(self):
+        # "the first 11 apps (whose alarms wakelocked the Wi-Fi only)" plus
+        # the Alarm Clock.
+        light = light_apps()
+        assert len(light) == 12
+        assert light[-1].name == "Alarm Clock"
+        assert all(
+            Component.WIFI in spec.hardware for spec in light[:-1]
+        )
+
+    def test_heavy_contains_all(self):
+        assert len(heavy_apps()) == 18
+
+    def test_facebook_row(self):
+        spec = app_by_name("Facebook")
+        assert spec.repeat_interval_s == 60
+        assert spec.alpha == 0.0
+        assert spec.kind is RepeatKind.DYNAMIC
+        assert Component.WIFI in spec.hardware
+
+    def test_alarm_clock_row(self):
+        spec = app_by_name("Alarm Clock")
+        assert spec.repeat_interval_s == 1_800
+        assert spec.kind is RepeatKind.STATIC
+        assert spec.hardware.is_perceptible()
+
+    def test_imitated_apps(self):
+        # The five apps the authors replaced with trace imitations.
+        imitated = {spec.name for spec in TABLE3_APPS if spec.imitated}
+        assert imitated == {
+            "Noom Walk",
+            "Moves",
+            "FollowMee",
+            "Family Locator",
+            "Cell Tracker",
+        }
+
+    def test_wps_apps(self):
+        wps = [
+            spec.name
+            for spec in TABLE3_APPS
+            if Component.WPS in spec.hardware
+        ]
+        assert wps == ["FollowMee", "Family Locator", "Cell Tracker"]
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            app_by_name("TikTok")
+
+    def test_paper_constants(self):
+        assert PAPER_BETA == 0.96
+        assert ANDROID_DEFAULT_ALPHA == 0.75
+
+
+class TestMakeAlarm:
+    def test_intervals_from_fractions(self):
+        spec = app_by_name("Line")  # 200 s, alpha 0.75
+        alarm = spec.make_alarm(beta=0.96)
+        assert alarm.repeat_interval == 200_000
+        assert alarm.window_length == 150_000
+        assert alarm.grace_length == 192_000
+
+    def test_beta_clamped_to_alpha(self):
+        spec = app_by_name("Line")
+        alarm = spec.make_alarm(beta=0.5)  # below alpha=0.75
+        assert alarm.grace_length == alarm.window_length
+
+    def test_default_first_nominal_is_one_period(self):
+        spec = app_by_name("Facebook")
+        alarm = spec.make_alarm(beta=0.96)
+        assert alarm.nominal_time == 60_000
+
+    def test_hardware_starts_unknown(self):
+        alarm = app_by_name("Facebook").make_alarm(beta=0.96)
+        assert not alarm.hardware_known
+        assert alarm.is_perceptible()  # until first delivery
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            app_by_name("Facebook").make_alarm(beta=1.0)

@@ -1,0 +1,64 @@
+"""Diurnal 24-hour scenario."""
+
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.analysis.experiments import run_workload
+from repro.simulator.device import WakeReason
+from repro.workloads.diurnal import (
+    DiurnalConfig,
+    build_diurnal,
+    interactive_sessions,
+)
+
+
+class TestInteractiveSessions:
+    def test_count(self):
+        config = DiurnalConfig(sessions_per_day=25)
+        assert len(interactive_sessions(config)) == 25
+
+    def test_within_day_span(self):
+        config = DiurnalConfig(day_span=(9, 18))
+        for event in interactive_sessions(config):
+            hour = event.time / 3_600_000
+            assert 9 <= hour < 18
+
+    def test_deterministic(self):
+        first = interactive_sessions(DiurnalConfig(seed=7))
+        second = interactive_sessions(DiurnalConfig(seed=7))
+        assert [e.time for e in first] == [e.time for e in second]
+
+    def test_time_ordered(self):
+        events = interactive_sessions(DiurnalConfig())
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+
+class TestBuildDiurnal:
+    def test_horizon_is_a_day(self):
+        workload, events = build_diurnal()
+        assert workload.horizon == 24 * 3_600_000
+        assert events
+
+    def test_light_variant(self):
+        workload, _ = build_diurnal(heavy=False)
+        assert workload.name == "diurnal-light"
+        assert len(workload.major_labels()) == 12
+
+    def test_full_day_runs_and_simty_still_wins(self):
+        config = DiurnalConfig(horizon_hours=12, sessions_per_day=15)
+        native_wl, native_ev = build_diurnal(config, heavy=False)
+        simty_wl, simty_ev = build_diurnal(config, heavy=False)
+        native = run_workload(
+            native_wl, NativePolicy(), external_events=tuple(native_ev)
+        )
+        simty = run_workload(
+            simty_wl, SimtyPolicy(), external_events=tuple(simty_ev)
+        )
+        assert simty.trace.wake_count() < native.trace.wake_count()
+        assert simty.energy.total_mj < native.energy.total_mj
+        external = [
+            s
+            for s in simty.trace.sessions
+            if s.reason is WakeReason.EXTERNAL
+        ]
+        assert external

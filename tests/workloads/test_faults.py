@@ -1,0 +1,101 @@
+"""Fault injection."""
+
+import pytest
+
+from repro.workloads.faults import (
+    inject_jitter,
+    inject_no_sleep_bug,
+    inject_storm,
+)
+from repro.workloads.scenarios import build_light
+
+
+class TestNoSleepBug:
+    def test_sets_hold_duration(self):
+        workload = inject_no_sleep_bug(build_light(), "Facebook", 60_000)
+        alarms = [
+            r.alarm for r in workload.registrations if r.alarm.app == "Facebook"
+        ]
+        assert all(alarm.hold_duration == 60_000 for alarm in alarms)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            inject_no_sleep_bug(build_light(), "TikTok", 60_000)
+
+    def test_hold_below_task_rejected(self):
+        with pytest.raises(ValueError):
+            inject_no_sleep_bug(build_light(), "Facebook", 1)
+
+    def test_detectable_end_to_end(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.simty import SimtyPolicy
+        from repro.metrics.anomaly import detect_no_sleep_suspects
+
+        workload = inject_no_sleep_bug(build_light(), "Line", 45_000)
+        result = run_workload(workload, SimtyPolicy())
+        suspects = detect_no_sleep_suspects(result.trace)
+        assert "Line" in [s.profile.app for s in suspects]
+
+    def test_bug_costs_energy(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.simty import SimtyPolicy
+
+        clean = run_workload(build_light(), SimtyPolicy())
+        buggy = run_workload(
+            inject_no_sleep_bug(build_light(), "Facebook", 30_000),
+            SimtyPolicy(),
+        )
+        assert buggy.energy.total_mj > 1.1 * clean.energy.total_mj
+
+
+class TestJitter:
+    def test_shifts_nominals(self):
+        base = build_light()
+        base_nominal = next(
+            r.alarm.nominal_time
+            for r in base.registrations
+            if r.alarm.app == "Facebook"
+        )
+        jittered = inject_jitter(build_light(), "Facebook", 30_000, seed=3)
+        new_nominal = next(
+            r.alarm.nominal_time
+            for r in jittered.registrations
+            if r.alarm.app == "Facebook"
+        )
+        assert base_nominal <= new_nominal <= base_nominal + 30_000
+
+    def test_deterministic(self):
+        first = inject_jitter(build_light(), "Line", 10_000, seed=5)
+        second = inject_jitter(build_light(), "Line", 10_000, seed=5)
+        get = lambda wl: [
+            r.alarm.nominal_time
+            for r in wl.registrations
+            if r.alarm.app == "Line"
+        ]
+        assert get(first) == get(second)
+
+
+class TestStorm:
+    def test_interval_shrinks(self):
+        workload = inject_storm(build_light(), "WeChat", 10)
+        alarm = next(
+            r.alarm for r in workload.registrations if r.alarm.app == "WeChat"
+        )
+        assert alarm.repeat_interval == 90_000
+        assert alarm.grace_length < alarm.repeat_interval
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            inject_storm(build_light(), "WeChat", 1)
+
+    def test_storm_multiplies_wakeups(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.native import NativePolicy
+
+        clean = run_workload(build_light(), NativePolicy())
+        stormy = run_workload(
+            inject_storm(build_light(), "WeChat", 30), NativePolicy()
+        )
+        wechat_clean = len(clean.trace.deliveries_for("WeChat"))
+        wechat_storm = len(stormy.trace.deliveries_for("WeChat"))
+        assert wechat_storm > 5 * wechat_clean

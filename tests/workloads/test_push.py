@@ -1,0 +1,84 @@
+"""Push-vs-poll conversion."""
+
+import pytest
+
+from repro.core.alarm import RepeatKind
+from repro.workloads.push import convert_to_push
+from repro.workloads.scenarios import build_light
+
+
+class TestConversion:
+    def test_polling_alarm_removed(self):
+        workload = convert_to_push(build_light(), "Facebook", seed=1)
+        repeating = [
+            r
+            for r in workload.registrations
+            if r.alarm.app == "Facebook" and r.alarm.is_repeating
+        ]
+        assert repeating == []
+
+    def test_push_messages_are_point_oneshots(self):
+        workload = convert_to_push(build_light(), "Facebook", seed=1)
+        pushes = [
+            r.alarm
+            for r in workload.registrations
+            if r.alarm.label.startswith("push:Facebook")
+        ]
+        assert pushes
+        for message in pushes:
+            assert message.repeat_kind is RepeatKind.ONE_SHOT
+            assert message.window_length == 0
+            assert message.is_perceptible() or message.hardware_known
+
+    def test_mean_rate_matches_polling(self):
+        workload = convert_to_push(build_light(), "Facebook", seed=1)
+        pushes = [
+            r.alarm
+            for r in workload.registrations
+            if r.alarm.label.startswith("push:Facebook")
+        ]
+        # Facebook polls every 60 s over 3 h -> ~180 events; Poisson noise.
+        assert 120 <= len(pushes) <= 250
+
+    def test_custom_rate(self):
+        workload = convert_to_push(
+            build_light(), "Facebook", mean_interarrival_ms=600_000, seed=1
+        )
+        pushes = [
+            r
+            for r in workload.registrations
+            if r.alarm.label.startswith("push:Facebook")
+        ]
+        assert 8 <= len(pushes) <= 35
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            convert_to_push(build_light(), "TikTok")
+
+    def test_deterministic(self):
+        def arrival_times(seed):
+            workload = convert_to_push(build_light(), "Facebook", seed=seed)
+            return [
+                r.alarm.nominal_time
+                for r in workload.registrations
+                if r.alarm.label.startswith("push:")
+            ]
+
+        assert arrival_times(4) == arrival_times(4)
+        assert arrival_times(4) != arrival_times(5)
+
+    def test_push_cannot_be_postponed(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.simty import SimtyPolicy
+
+        workload = convert_to_push(build_light(), "Facebook", seed=2)
+        result = run_workload(workload, SimtyPolicy())
+        pushes = [
+            record
+            for record in result.trace.deliveries()
+            if record.label.startswith("push:Facebook")
+        ]
+        assert pushes
+        # Delivered at arrival (modulo wake latency), never grace-aligned.
+        for record in pushes:
+            assert record.delivered_at - record.nominal_time <= 400

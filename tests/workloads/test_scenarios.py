@@ -1,0 +1,121 @@
+"""Scenario builders: light/heavy workloads and background load."""
+
+from repro.core.alarm import RepeatKind
+from repro.workloads.scenarios import (
+    BackgroundConfig,
+    ScenarioConfig,
+    background_registrations,
+    build_heavy,
+    build_light,
+)
+
+
+class TestBuilders:
+    def test_light_contains_twelve_majors(self):
+        workload = build_light()
+        assert len(workload.major_labels()) == 12
+
+    def test_heavy_contains_eighteen_majors(self):
+        workload = build_heavy()
+        assert len(workload.major_labels()) == 18
+
+    def test_registrations_time_sorted(self):
+        workload = build_heavy()
+        times = [registration.time for registration in workload.registrations]
+        assert times == sorted(times)
+
+    def test_majors_register_at_zero(self):
+        workload = build_light()
+        majors = set(workload.major_labels())
+        for registration in workload.registrations:
+            if registration.alarm.label in majors:
+                assert registration.time == 0
+
+    def test_deterministic_for_same_config(self):
+        first = build_light()
+        second = build_light()
+        assert [r.alarm.nominal_time for r in first.registrations] == [
+            r.alarm.nominal_time for r in second.registrations
+        ]
+
+    def test_phase_seed_changes_offsets(self):
+        first = build_light(ScenarioConfig(phase_seed=1))
+        second = build_light(ScenarioConfig(phase_seed=2))
+        assert [r.alarm.nominal_time for r in first.registrations[:12]] != [
+            r.alarm.nominal_time for r in second.registrations[:12]
+        ]
+
+    def test_beta_applied_to_majors(self):
+        workload = build_light(ScenarioConfig(beta=0.9))
+        majors = set(workload.major_labels())
+        for registration in workload.registrations:
+            alarm = registration.alarm
+            if alarm.label in majors and alarm.repeat_interval:
+                assert alarm.grace_length >= alarm.window_length
+                assert alarm.grace_length <= 0.9 * alarm.repeat_interval + 1
+
+    def test_fresh_alarms_each_build(self):
+        first = build_light()
+        second = build_light()
+        first_ids = {r.alarm.alarm_id for r in first.registrations}
+        second_ids = {r.alarm.alarm_id for r in second.registrations}
+        assert not first_ids & second_ids
+
+
+class TestBackground:
+    def test_system_services_present(self):
+        registrations = background_registrations(ScenarioConfig())
+        system = [
+            r for r in registrations if r.alarm.label.startswith("sys:")
+        ]
+        assert len(system) == len(BackgroundConfig().system_services)
+        assert all(r.alarm.repeat_kind is RepeatKind.STATIC for r in system)
+
+    def test_system_services_are_cpu_only(self):
+        registrations = background_registrations(ScenarioConfig())
+        for registration in registrations:
+            if registration.alarm.label.startswith("sys:"):
+                assert registration.alarm.true_hardware.is_empty()
+
+    def test_oneshot_counts_scale_with_rate(self):
+        config = ScenarioConfig(
+            background=BackgroundConfig(
+                oneshots_per_hour=40.0, nonwakeups_per_hour=0.0
+            )
+        )
+        registrations = background_registrations(config)
+        oneshots = [
+            r for r in registrations if r.alarm.label.startswith("oneshot:")
+        ]
+        assert len(oneshots) == 120  # 40/h over 3 h
+
+    def test_nonwakeup_stream_flagged(self):
+        registrations = background_registrations(ScenarioConfig())
+        nonwakeups = [
+            r for r in registrations if r.alarm.label.startswith("nw:")
+        ]
+        assert nonwakeups
+        assert all(not r.alarm.wakeup for r in nonwakeups)
+
+    def test_oneshots_registered_before_nominal(self):
+        registrations = background_registrations(ScenarioConfig())
+        for registration in registrations:
+            if registration.alarm.repeat_kind is RepeatKind.ONE_SHOT:
+                assert registration.time <= registration.alarm.nominal_time
+
+    def test_background_disabled(self):
+        config = ScenarioConfig(
+            background=BackgroundConfig(
+                include_system_services=False,
+                oneshots_per_hour=0.0,
+                nonwakeups_per_hour=0.0,
+            )
+        )
+        assert background_registrations(config) == []
+
+    def test_background_seed_deterministic(self):
+        first = background_registrations(ScenarioConfig())
+        second = background_registrations(ScenarioConfig())
+        assert [r.alarm.nominal_time for r in first] == [
+            r.alarm.nominal_time for r in second
+        ]

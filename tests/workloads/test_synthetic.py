@@ -1,0 +1,88 @@
+"""Synthetic workload generator."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+
+class TestSyntheticGeneration:
+    def test_app_count(self):
+        workload = generate(SyntheticConfig(app_count=17))
+        assert len(workload.registrations) == 17
+
+    def test_deterministic_for_seed(self):
+        first = generate(SyntheticConfig(seed=9))
+        second = generate(SyntheticConfig(seed=9))
+        assert [r.alarm.nominal_time for r in first.registrations] == [
+            r.alarm.nominal_time for r in second.registrations
+        ]
+        assert [r.alarm.repeat_interval for r in first.registrations] == [
+            r.alarm.repeat_interval for r in second.registrations
+        ]
+
+    def test_seed_changes_output(self):
+        first = generate(SyntheticConfig(seed=1))
+        second = generate(SyntheticConfig(seed=2))
+        assert [r.alarm.repeat_interval for r in first.registrations] != [
+            r.alarm.repeat_interval for r in second.registrations
+        ]
+
+    def test_periods_within_range(self):
+        config = SyntheticConfig(period_range_s=(100, 200), app_count=50)
+        workload = generate(config)
+        for registration in workload.registrations:
+            assert 100_000 <= registration.alarm.repeat_interval <= 200_000
+
+    def test_alpha_choices_respected(self):
+        config = SyntheticConfig(alpha_choices=(0.5,), app_count=20)
+        workload = generate(config)
+        for registration in workload.registrations:
+            alarm = registration.alarm
+            assert alarm.window_length == round(0.5 * alarm.repeat_interval)
+
+    def test_all_dynamic(self):
+        from repro.core.alarm import RepeatKind
+
+        config = SyntheticConfig(dynamic_fraction=1.0, app_count=20)
+        workload = generate(config)
+        assert all(
+            r.alarm.repeat_kind is RepeatKind.DYNAMIC
+            for r in workload.registrations
+        )
+
+    def test_all_static(self):
+        from repro.core.alarm import RepeatKind
+
+        config = SyntheticConfig(dynamic_fraction=0.0, app_count=20)
+        workload = generate(config)
+        assert all(
+            r.alarm.repeat_kind is RepeatKind.STATIC
+            for r in workload.registrations
+        )
+
+    def test_grace_respects_beta_and_alpha(self):
+        config = SyntheticConfig(beta=0.9, app_count=30)
+        workload = generate(config)
+        for registration in workload.registrations:
+            alarm = registration.alarm
+            assert alarm.grace_length >= alarm.window_length
+            assert alarm.grace_length < alarm.repeat_interval
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(app_count=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(dynamic_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(beta=1.0)
+
+    def test_runs_under_all_policies(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.native import NativePolicy
+        from repro.core.simty import SimtyPolicy
+
+        config = SyntheticConfig(app_count=10, seed=3, horizon=600_000)
+        native = run_workload(generate(config), NativePolicy())
+        simty = run_workload(generate(config), SimtyPolicy())
+        assert native.trace.delivery_count() > 0
+        assert simty.trace.wake_count() <= native.trace.wake_count()

@@ -1,0 +1,62 @@
+"""Row-by-row verification of the Table 3 catalog against the paper.
+
+The catalog is data, and data deserves a transcription check: every row's
+repeating interval, alpha, static/dynamic kind, hardware usage and
+light-workload membership, exactly as printed in the paper.
+"""
+
+import pytest
+
+from repro.core.alarm import RepeatKind
+from repro.core.hardware import (
+    ACCELEROMETER_ONLY,
+    SPEAKER_VIBRATOR_ONLY,
+    WIFI_ONLY,
+    WPS_ONLY,
+)
+from repro.workloads.apps import TABLE3_APPS, app_by_name
+
+S = RepeatKind.STATIC
+D = RepeatKind.DYNAMIC
+
+#: (name, ReIn seconds, alpha, kind, hardware, in light workload)
+PAPER_TABLE3 = [
+    ("Facebook", 60, 0.0, D, WIFI_ONLY, True),
+    ("imo.im", 180, 0.0, D, WIFI_ONLY, True),
+    ("Line", 200, 0.75, D, WIFI_ONLY, True),
+    ("BAND", 202, 0.0, D, WIFI_ONLY, True),
+    ("YeeCall", 270, 0.0, S, WIFI_ONLY, True),
+    ("JusTalk", 300, 0.0, S, WIFI_ONLY, True),
+    ("Weibo", 300, 0.0, D, WIFI_ONLY, True),
+    ("KakaoTalk", 600, 0.75, D, WIFI_ONLY, True),
+    ("Viber", 600, 0.75, D, WIFI_ONLY, True),
+    ("WeChat", 900, 0.75, D, WIFI_ONLY, True),
+    ("Messenger", 900, 0.75, S, WIFI_ONLY, True),
+    ("Alarm Clock", 1800, 0.0, S, SPEAKER_VIBRATOR_ONLY, True),
+    ("Drink Water", 900, 0.75, S, SPEAKER_VIBRATOR_ONLY, False),
+    ("Noom Walk", 60, 0.75, S, ACCELEROMETER_ONLY, False),
+    ("Moves", 90, 0.75, S, ACCELEROMETER_ONLY, False),
+    ("FollowMee", 180, 0.75, S, WPS_ONLY, False),
+    ("Family Locator", 300, 0.75, S, WPS_ONLY, False),
+    ("Cell Tracker", 300, 0.75, S, WPS_ONLY, False),
+]
+
+
+def test_row_order_matches_paper():
+    assert [spec.name for spec in TABLE3_APPS] == [
+        row[0] for row in PAPER_TABLE3
+    ]
+
+
+@pytest.mark.parametrize(
+    "name, interval_s, alpha, kind, hardware, in_light",
+    PAPER_TABLE3,
+    ids=[row[0] for row in PAPER_TABLE3],
+)
+def test_row_verbatim(name, interval_s, alpha, kind, hardware, in_light):
+    spec = app_by_name(name)
+    assert spec.repeat_interval_s == interval_s
+    assert spec.alpha == alpha
+    assert spec.kind is kind
+    assert spec.hardware == hardware
+    assert spec.in_light is in_light

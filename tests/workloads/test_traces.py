@@ -1,0 +1,106 @@
+"""Trace export and imitation-app replay."""
+
+from repro.core.exact import ExactPolicy
+from repro.core.hardware import Component, WPS_ONLY
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.workloads.traces import (
+    LoggedAlarm,
+    load_log,
+    log_from_trace,
+    replay_registrations,
+    replay_workload,
+    save_log,
+)
+
+from ..conftest import make_alarm
+
+
+def record_run():
+    alarm = make_alarm(
+        nominal=10_000, repeat=30_000, window=5_000,
+        hardware=WPS_ONLY, app="FollowMee", label="FollowMee",
+    )
+    return simulate(
+        ExactPolicy(),
+        [alarm],
+        SimulatorConfig(horizon=100_000, wake_latency_ms=0, tail_ms=0),
+    )
+
+
+class TestLogExtraction:
+    def test_log_from_trace(self):
+        logged = log_from_trace(record_run(), "FollowMee")
+        assert len(logged) == 3
+        assert logged[0].nominal_time == 10_000
+        assert logged[0].components == [Component.WPS.value]
+
+    def test_log_filters_by_app(self):
+        assert log_from_trace(record_run(), "other") == []
+
+    def test_hardware_roundtrip(self):
+        logged = log_from_trace(record_run(), "FollowMee")
+        assert logged[0].hardware() == WPS_ONLY
+
+
+class TestPersistence:
+    def test_save_and_load(self, tmp_path):
+        logged = log_from_trace(record_run(), "FollowMee")
+        path = tmp_path / "followmee.json"
+        save_log(logged, path)
+        loaded = load_log(path)
+        assert loaded == logged
+
+
+class TestReplay:
+    def test_replay_registrations_are_one_shots(self):
+        from repro.core.alarm import RepeatKind
+
+        logged = log_from_trace(record_run(), "FollowMee")
+        registrations = replay_registrations(logged)
+        assert len(registrations) == 3
+        for registration in registrations:
+            assert registration.alarm.repeat_kind is RepeatKind.ONE_SHOT
+            assert registration.alarm.true_hardware == WPS_ONLY
+
+    def test_replay_preserves_timing(self):
+        logged = log_from_trace(record_run(), "FollowMee")
+        registrations = replay_registrations(logged)
+        assert [r.alarm.nominal_time for r in registrations] == [
+            10_000, 40_000, 70_000,
+        ]
+
+    def test_lead_time_clamped_at_zero(self):
+        logged = [
+            LoggedAlarm(
+                app="x", nominal_time=5_000, window_length=100,
+                task_duration=0, components=[],
+            )
+        ]
+        registrations = replay_registrations(logged, lead_ms=60_000)
+        assert registrations[0].time == 0
+
+    def test_grace_slack_widens_grace(self):
+        logged = [
+            LoggedAlarm(
+                app="x", nominal_time=50_000, window_length=1_000,
+                task_duration=0, components=[],
+            )
+        ]
+        registrations = replay_registrations(logged, grace_slack=0.5)
+        assert registrations[0].alarm.grace_length == 1_500
+
+    def test_replayed_workload_reproduces_delivery_pattern(self):
+        logged = log_from_trace(record_run(), "FollowMee")
+        workload = replay_workload(logged, horizon=100_000)
+        from repro.analysis.experiments import run_workload
+
+        result = run_workload(
+            workload,
+            ExactPolicy(),
+            simulator_config=SimulatorConfig(
+                horizon=100_000, wake_latency_ms=0, tail_ms=0
+            ),
+        )
+        delivered = [r.delivered_at for r in result.trace.deliveries()]
+        original = [entry.nominal_time for entry in logged]
+        assert delivered == original
