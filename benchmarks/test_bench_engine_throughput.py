@@ -1,18 +1,32 @@
 """Engine micro-benchmark: full-run simulation throughput.
 
-Times one complete 3-hour heavy-workload run (build + simulate + account),
-the unit of work every experiment and sweep is built from.  This is the
-number to watch when optimizing the engine.
+Times one complete 3-hour run (build + simulate + account) expressed as a
+:class:`~repro.runner.spec.RunSpec` — the unit of work every experiment and
+sweep is built from.  This is the number to watch when optimizing the
+engine, and ``test_bench_cached_rerun`` is the same spec served from the
+content-addressed cache — the harness's fast path.
 """
 
-from repro.analysis.experiments import run_experiment
+from repro.runner import ResultCache, RunSpec, execute_spec, run_spec
 
 
 def test_bench_full_heavy_run(benchmark):
-    result = benchmark(run_experiment, "heavy", "simty")
+    spec = RunSpec(workload="heavy", policy="simty")
+    result = benchmark(execute_spec, spec)
     assert result.trace.delivery_count() > 500
 
 
 def test_bench_full_light_native_run(benchmark):
-    result = benchmark(run_experiment, "light", "native")
+    spec = RunSpec(workload="light", policy="native")
+    result = benchmark(execute_spec, spec)
     assert result.trace.delivery_count() > 500
+
+
+def test_bench_cached_rerun(benchmark):
+    cache = ResultCache()
+    spec = RunSpec(workload="heavy", policy="simty")
+    run_spec(spec, cache=cache)  # warm
+
+    record = benchmark(run_spec, spec, cache=cache)
+    assert record.cache_hit
+    assert record.result.trace.delivery_count() > 500

@@ -1,0 +1,79 @@
+"""P1 — run-harness parallel executor: speedup and equivalence.
+
+Runs one grid of seeded synthetic workloads twice through
+``repro.runner.run_many`` — serially and over a process pool — asserts the
+metric results are byte-identical, and records the wall-time ratio.  The
+ratio depends on core count and pool start-up cost; the correctness
+assertions are what must hold everywhere.
+"""
+
+import json
+import os
+import time
+
+from repro.runner import RunSpec, run_many
+from repro.simulator.serialize import trace_to_dict
+
+SEEDS = tuple(range(1, 9))
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _scrub_alarm_ids(payload):
+    # Alarm ids come from a process-global counter, so they differ between
+    # the parent and pool workers; everything observable is compared.
+    if isinstance(payload, dict):
+        return {
+            key: _scrub_alarm_ids(value)
+            for key, value in payload.items()
+            if key != "alarm_id"
+        }
+    if isinstance(payload, list):
+        return [_scrub_alarm_ids(item) for item in payload]
+    return payload
+
+
+def _trace_bytes(trace) -> str:
+    return json.dumps(_scrub_alarm_ids(trace_to_dict(trace)), sort_keys=True)
+
+
+def _grid():
+    return [
+        RunSpec(
+            workload="synthetic",
+            policy=policy,
+            workload_kwargs={"app_count": 50},
+            seed=seed,
+        )
+        for seed in SEEDS
+        for policy in ("native", "simty")
+    ]
+
+
+def test_bench_parallel_speedup(benchmark, emit):
+    started = time.perf_counter()
+    serial = run_many(_grid(), max_workers=1)
+    serial_s = time.perf_counter() - started
+
+    def parallel_run():
+        return run_many(_grid(), max_workers=WORKERS)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    assert [r.spec for r in serial] == [r.spec for r in parallel]
+    for left, right in zip(serial, parallel):
+        assert left.result.energy == right.result.energy
+        assert left.result.wakeups == right.result.wakeups
+        assert _trace_bytes(left.result.trace) == _trace_bytes(
+            right.result.trace
+        )
+
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    emit(
+        "P1 — parallel executor over "
+        f"{len(SEEDS) * 2} runs, {WORKERS} workers\n"
+        f"  serial   {serial_s:8.2f} s\n"
+        f"  parallel {parallel_s:8.2f} s\n"
+        f"  speedup  {ratio:8.2f}x (byte-identical traces)"
+    )
+    assert ratio > 0.0

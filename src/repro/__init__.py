@@ -14,6 +14,9 @@ The library layers as follows (each importable on its own):
 * :mod:`repro.workloads` — the Table 3 app catalog, the paper's light/heavy
   scenarios, a synthetic generator and trace replay;
 * :mod:`repro.metrics` — delivery delay, wakeup breakdown, periodicity;
+* :mod:`repro.runner` — the run harness: :class:`RunSpec` descriptions,
+  the policy/workload registry, the parallel executor (:func:`run_many`)
+  and the content-addressed result cache;
 * :mod:`repro.analysis` — experiment matrix, figures/tables and the
   ``simty`` CLI.
 
@@ -48,6 +51,15 @@ from .core import (
     SimtyPolicy,
 )
 from .power import NEXUS5, PowerModel, account
+from .runner import (
+    ResultCache,
+    RunRecord,
+    RunSpec,
+    register_policy,
+    register_workload,
+    run_many,
+    run_spec,
+)
 from .simulator import SimulationTrace, Simulator, SimulatorConfig, simulate
 from .workloads import ScenarioConfig, Workload, build_heavy, build_light
 
@@ -74,6 +86,13 @@ __all__ = [
     "NEXUS5",
     "PowerModel",
     "account",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "register_policy",
+    "register_workload",
+    "run_many",
+    "run_spec",
     "SimulationTrace",
     "Simulator",
     "SimulatorConfig",

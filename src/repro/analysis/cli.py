@@ -21,6 +21,7 @@ from ..metrics.wakeups import wakeup_breakdown
 from ..power.accounting import account
 from ..power.attribution import attribution_table
 from ..power.profiles import NEXUS5
+from ..runner import ResultCache, summary_table
 from ..simulator.events import event_log
 from ..simulator.serialize import load_trace, save_trace
 from ..workloads.scenarios import ScenarioConfig
@@ -79,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all artifact data as JSON",
     )
+    _add_harness_args(paper)
 
     run = sub.add_parser("run", help="run one policy on one workload")
     _add_workload_arg(run)
@@ -133,7 +135,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default="beta",
     )
     _add_workload_arg(sweep)
+    _add_harness_args(sweep)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _add_harness_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="simulate the run grid over N worker processes",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the harness run records (digests, wall time, cache hits)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="content-addressed on-disk result cache shared across invocations",
+    )
 
 
 def _scenario_config(beta: Optional[float]) -> Optional[ScenarioConfig]:
@@ -142,15 +173,32 @@ def _scenario_config(beta: Optional[float]) -> Optional[ScenarioConfig]:
     return ScenarioConfig(beta=beta)
 
 
+def _harness_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(disk_dir=args.cache_dir)
+
+
+def _print_stats(cache: ResultCache) -> None:
+    print()
+    print(summary_table(cache.records))
+    print(f"cache: {cache.stats}")
+
+
 def _command_paper(args: argparse.Namespace) -> int:
     scenario_config = _scenario_config(args.beta)
-    matrix = run_paper_matrix(scenario_config=scenario_config)
+    cache = _harness_cache(args)
+    matrix = run_paper_matrix(
+        scenario_config=scenario_config,
+        cache=cache,
+        max_workers=args.workers,
+    )
     print(render_all(matrix))
     if args.json:
         from .export import export_paper_results
 
         export_paper_results(args.json, matrix, scenario_config)
         print(f"\nartifact data written to {args.json}")
+    if args.stats:
+        _print_stats(cache)
     return 0
 
 
@@ -202,18 +250,20 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    cache = _harness_cache(args)
+    harness = dict(cache=cache, max_workers=args.workers)
     if args.kind == "beta":
-        rows = beta_sweep(workload=args.workload)
+        rows = beta_sweep(workload=args.workload, **harness)
     elif args.kind == "classifier":
-        rows = classifier_sweep(workload=args.workload)
+        rows = classifier_sweep(workload=args.workload, **harness)
     elif args.kind == "scale":
-        rows = scale_sweep()
+        rows = scale_sweep(**harness)
     elif args.kind == "bucket":
-        rows = bucket_sweep(workload=args.workload)
+        rows = bucket_sweep(workload=args.workload, **harness)
     elif args.kind == "sensitivity":
-        rows = sensitivity_sweep(workload=args.workload)
+        rows = sensitivity_sweep(workload=args.workload, **harness)
     else:
-        rows = duration_sweep(workload=args.workload)
+        rows = duration_sweep(workload=args.workload, **harness)
     if not rows:
         print("no results")
         return 1
@@ -226,6 +276,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         for row in rows
     ]
     print(format_table(headers, body))
+    if args.stats:
+        _print_stats(cache)
     return 0
 
 

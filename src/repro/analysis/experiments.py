@@ -1,64 +1,56 @@
-"""End-to-end experiment runner.
+"""End-to-end experiment runner (thin front end over the run harness).
 
-Composes workloads, policies, the simulator and the power model into the
-paper's experiment matrix (policy x workload) and returns everything the
-figures and tables need.  Each run builds a *fresh* workload, because alarms
-are mutable and single-use.
+Historically this module composed policies, workloads, the simulator and
+the power model by hand; that composition now lives in
+:mod:`repro.runner`.  ``run_experiment`` / ``run_workload`` remain as
+stable entry points — every existing call site and example keeps working —
+and simply delegate to the harness.  ``POLICY_FACTORIES`` and
+``WORKLOAD_BUILDERS`` are live read-only views over the harness's default
+registry; register new entries via
+:func:`repro.runner.register_policy` / :func:`repro.runner.register_workload`.
+
+Each run builds a *fresh* workload, because alarms are mutable and
+single-use (the simulator now enforces this with a ``ValueError`` on
+reuse).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
-from ..core.bucket import FixedIntervalPolicy
-from ..core.duration import DurationAwareSimtyPolicy
-from ..core.exact import ExactPolicy
-from ..core.native import NativePolicy
 from ..core.policy import AlignmentPolicy
-from ..core.simty import SimtyPolicy
-from ..metrics.delay import DelayReport, delay_report
 from ..metrics.energy import EnergyComparison
-from ..metrics.wakeups import WakeupBreakdown, wakeup_breakdown
-from ..power.accounting import EnergyBreakdown, account
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
-from ..simulator.engine import Simulator, SimulatorConfig
-from ..simulator.trace import SimulationTrace
-from ..workloads.scenarios import (
-    ScenarioConfig,
-    Workload,
-    build_heavy,
-    build_light,
+from ..runner.cache import ResultCache
+from ..runner.executor import run_built, run_many
+from ..runner.record import ExperimentResult
+from ..runner.registry import (
+    DEFAULT_REGISTRY,
+    POLICY_FACTORIES_VIEW,
+    WORKLOAD_BUILDERS_VIEW,
 )
+from ..runner.spec import RunSpec
+from ..simulator.engine import SimulatorConfig
+from ..workloads.scenarios import ScenarioConfig, Workload
 
-#: Policy factories keyed by the names used on the CLI and in benches.
-POLICY_FACTORIES: Dict[str, Callable[[], AlignmentPolicy]] = {
-    "native": NativePolicy,
-    "simty": SimtyPolicy,
-    "exact": ExactPolicy,
-    "simty+dur": DurationAwareSimtyPolicy,
-    "bucket": FixedIntervalPolicy,
-}
+#: Live view of the default registry's policy factories (back-compat name).
+POLICY_FACTORIES = POLICY_FACTORIES_VIEW
 
-#: Workload builders keyed by scenario name.
-WORKLOAD_BUILDERS: Dict[str, Callable[[ScenarioConfig], Workload]] = {
-    "light": build_light,
-    "heavy": build_heavy,
-}
+#: Live view of the default registry's workload builders (back-compat name).
+WORKLOAD_BUILDERS = WORKLOAD_BUILDERS_VIEW
 
-
-@dataclass(frozen=True)
-class ExperimentResult:
-    """Everything measured from one (policy, workload) run."""
-
-    workload_name: str
-    policy_name: str
-    trace: SimulationTrace
-    energy: EnergyBreakdown
-    delays: DelayReport
-    wakeups: WakeupBreakdown
-    major_labels: List[str] = field(default_factory=list)
+__all__ = [
+    "POLICY_FACTORIES",
+    "WORKLOAD_BUILDERS",
+    "ExperimentResult",
+    "PairResult",
+    "run_experiment",
+    "run_pair",
+    "run_paper_matrix",
+    "run_workload",
+]
 
 
 def run_experiment(
@@ -72,32 +64,28 @@ def run_experiment(
     """Run one cell of the experiment matrix.
 
     ``policy_factory`` overrides the registry lookup, e.g. to inject a SIMTY
-    variant with a non-default hardware-similarity classifier.
+    variant with a non-default hardware-similarity classifier; such runs
+    bypass the spec/cache machinery (a live factory has no stable digest).
     """
-    scenario_config = scenario_config or ScenarioConfig()
-    builder = WORKLOAD_BUILDERS.get(workload)
-    if builder is None:
-        raise KeyError(
-            f"unknown workload {workload!r}; choose from "
-            f"{sorted(WORKLOAD_BUILDERS)}"
+    if policy_factory is not None:
+        built = DEFAULT_REGISTRY.build_workload(workload, scenario_config)
+        return run_built(
+            built,
+            policy_factory(),
+            model=model,
+            simulator_config=simulator_config,
+            policy_name=policy,
         )
-    if policy_factory is None:
-        factory = POLICY_FACTORIES.get(policy)
-        if factory is None:
-            raise KeyError(
-                f"unknown policy {policy!r}; choose from "
-                f"{sorted(POLICY_FACTORIES)}"
-            )
-    else:
-        factory = policy_factory
-    built = builder(scenario_config)
-    return run_workload(
-        built,
-        factory(),
+    spec = RunSpec(
+        workload=workload,
+        policy=policy,
+        scenario=scenario_config,
+        simulator=simulator_config,
         model=model,
-        simulator_config=simulator_config,
-        policy_name=policy,
     )
+    from ..runner.executor import run_spec
+
+    return run_spec(spec).result
 
 
 def run_workload(
@@ -110,28 +98,16 @@ def run_workload(
 ) -> ExperimentResult:
     """Run an already-built workload under a policy instance.
 
-    ``external_events`` injects user/push wakes (see
-    :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
+    Delegates to :func:`repro.runner.run_built`; kept for API stability
+    (examples and external callers import it from here).
     """
-    config = simulator_config or SimulatorConfig(horizon=workload.horizon)
-    if config.horizon != workload.horizon:
-        config = SimulatorConfig(
-            horizon=workload.horizon,
-            wake_latency_ms=config.wake_latency_ms,
-            tail_ms=config.tail_ms,
-        )
-    simulator = Simulator(policy, config=config, external_events=external_events)
-    workload.apply(simulator)
-    trace = simulator.run()
-    majors = workload.major_labels()
-    return ExperimentResult(
-        workload_name=workload.name,
-        policy_name=policy_name or policy.name,
-        trace=trace,
-        energy=account(trace, model),
-        delays=delay_report(trace, labels=majors),
-        wakeups=wakeup_breakdown(trace, major_labels=majors),
-        major_labels=majors,
+    return run_built(
+        workload,
+        policy,
+        model=model,
+        simulator_config=simulator_config,
+        policy_name=policy_name,
+        external_events=external_events,
     )
 
 
@@ -150,6 +126,27 @@ class PairResult:
         )
 
 
+def pair_specs(
+    workload: str,
+    baseline_policy: str = "native",
+    improved_policy: str = "simty",
+    scenario_config: Optional[ScenarioConfig] = None,
+    model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
+) -> tuple:
+    """The (baseline, improved) :class:`RunSpec` pair for one workload."""
+    common = dict(
+        workload=workload,
+        scenario=scenario_config,
+        simulator=simulator_config,
+        model=model,
+    )
+    return (
+        RunSpec(policy=baseline_policy, **common),
+        RunSpec(policy=improved_policy, **common),
+    )
+
+
 def run_pair(
     workload: str,
     baseline_policy: str = "native",
@@ -157,25 +154,47 @@ def run_pair(
     scenario_config: Optional[ScenarioConfig] = None,
     model: PowerModel = NEXUS5,
     simulator_config: Optional[SimulatorConfig] = None,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> PairResult:
     """Run the paper's basic comparison on one workload."""
-    baseline = run_experiment(
-        workload, baseline_policy, scenario_config, model, simulator_config
+    specs = pair_specs(
+        workload,
+        baseline_policy,
+        improved_policy,
+        scenario_config,
+        model,
+        simulator_config,
     )
-    improved = run_experiment(
-        workload, improved_policy, scenario_config, model, simulator_config
+    baseline, improved = run_many(
+        specs, max_workers=max_workers, cache=cache
     )
     return PairResult(
-        workload_name=workload, baseline=baseline, improved=improved
+        workload_name=workload,
+        baseline=baseline.result,
+        improved=improved.result,
     )
 
 
 def run_paper_matrix(
     scenario_config: Optional[ScenarioConfig] = None,
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> Dict[str, PairResult]:
     """Both workloads, NATIVE vs SIMTY: the inputs to Figs. 3-4 and Table 4."""
+    workloads = ("light", "heavy")
+    specs = []
+    for workload in workloads:
+        specs.extend(
+            pair_specs(workload, scenario_config=scenario_config, model=model)
+        )
+    records = run_many(specs, max_workers=max_workers, cache=cache)
     return {
-        workload: run_pair(workload, scenario_config=scenario_config, model=model)
-        for workload in ("light", "heavy")
+        workload: PairResult(
+            workload_name=workload,
+            baseline=records[2 * index].result,
+            improved=records[2 * index + 1].result,
+        )
+        for index, workload in enumerate(workloads)
     }

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
+from ..runner.cache import ResultCache
+from ..runner.executor import run_many
 from ..workloads.scenarios import ScenarioConfig
-from .experiments import PairResult, run_pair
+from .experiments import PairResult, pair_specs
 
 
 @dataclass(frozen=True)
@@ -64,12 +66,28 @@ def replicate_pair(
     seeds: Sequence[int] = (1, 2, 3),
     base_config: ScenarioConfig = ScenarioConfig(),
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> ReplicatedPair:
-    """Run NATIVE-vs-SIMTY once per phase seed and aggregate."""
-    pairs: List[PairResult] = []
+    """Run NATIVE-vs-SIMTY once per phase seed and aggregate.
+
+    The whole seed grid goes through :func:`repro.runner.run_many` as one
+    batch, so repeated seeds hit the cache and ``max_workers > 1`` runs
+    the replicas concurrently.
+    """
+    specs = []
     for seed in seeds:
         config = replace(base_config, phase_seed=seed)
-        pairs.append(run_pair(workload, scenario_config=config, model=model))
+        specs.extend(pair_specs(workload, scenario_config=config, model=model))
+    records = run_many(specs, max_workers=max_workers, cache=cache)
+    pairs: List[PairResult] = [
+        PairResult(
+            workload_name=workload,
+            baseline=records[2 * index].result,
+            improved=records[2 * index + 1].result,
+        )
+        for index in range(len(list(seeds)))
+    ]
     return ReplicatedPair(
         workload=workload,
         seeds=list(seeds),
@@ -98,9 +116,18 @@ def replicate_matrix(
     seeds: Sequence[int] = (1, 2, 3),
     base_config: ScenarioConfig = ScenarioConfig(),
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> Dict[str, ReplicatedPair]:
     """Both workloads, replicated — the paper's full reported protocol."""
     return {
-        workload: replicate_pair(workload, seeds, base_config, model)
+        workload: replicate_pair(
+            workload,
+            seeds,
+            base_config,
+            model,
+            cache=cache,
+            max_workers=max_workers,
+        )
         for workload in ("light", "heavy")
     }

@@ -1,4 +1,4 @@
-"""Parameter sweeps and ablations.
+"""Parameter sweeps and ablations, expressed as RunSpec grids.
 
 The paper fixes ``beta = 0.96`` and the three-level hardware classifier; the
 sweeps here quantify those design choices:
@@ -9,6 +9,15 @@ sweeps here quantify those design choices:
   sketched in Sec. 3.1.1 (A2);
 * :func:`scale_sweep` — synthetic workloads of growing app count (S1);
 * :func:`duration_sweep` — SIMTY vs duration-aware SIMTY (A3, Sec. 5).
+
+Every sweep builds its full grid of :class:`~repro.runner.spec.RunSpec`s —
+including the beta-independent NATIVE baseline once *per grid point*, as
+the row arithmetic wants — and hands it to
+:func:`~repro.runner.executor.run_many`.  Content-addressed deduplication
+then collapses the repeated baseline to a single simulation: a six-beta
+``beta_sweep`` issues exactly 7 simulations (1 NATIVE + 6 SIMTY).  Pass a
+shared :class:`~repro.runner.cache.ResultCache` to reuse baselines *across*
+sweeps too, and ``max_workers`` to fan the grid out over processes.
 """
 
 from __future__ import annotations
@@ -17,30 +26,42 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import dataclasses
 
-from ..core.bucket import FixedIntervalPolicy
-from ..core.duration import DurationAwareSimtyPolicy
 from ..core.similarity import HARDWARE_CLASSIFIERS
-from ..core.simty import SimtyPolicy
 from ..metrics.delay import max_window_violation_ms
 from ..power.accounting import account, savings_fraction
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
+from ..runner.cache import ResultCache
+from ..runner.executor import run_many
+from ..runner.spec import RunSpec
 from ..workloads.scenarios import ScenarioConfig
-from ..workloads.synthetic import SyntheticConfig, generate
-from .experiments import run_experiment, run_workload
 
 
 def beta_sweep(
     workload: str = "light",
     betas: Sequence[float] = (0.75, 0.80, 0.85, 0.90, 0.96, 0.99),
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """Sweep the grace fraction; NATIVE is the beta-independent baseline."""
-    baseline = run_experiment(workload, "native", model=model)
-    rows = []
+    cache = cache if cache is not None else ResultCache()
+    specs = []
     for beta in betas:
-        config = ScenarioConfig(beta=beta)
-        result = run_experiment(workload, "simty", config, model=model)
+        specs.append(RunSpec(workload=workload, policy="native", model=model))
+        specs.append(
+            RunSpec(
+                workload=workload,
+                policy="simty",
+                scenario=ScenarioConfig(beta=beta),
+                model=model,
+            )
+        )
+    records = run_many(specs, max_workers=max_workers, cache=cache)
+    rows = []
+    for index, beta in enumerate(betas):
+        baseline = records[2 * index].result
+        result = records[2 * index + 1].result
         rows.append(
             {
                 "beta": beta,
@@ -56,18 +77,28 @@ def classifier_sweep(
     workload: str = "heavy",
     model: PowerModel = NEXUS5,
     names: Optional[Iterable[str]] = None,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """Compare the hardware-similarity granularities of Sec. 3.1.1."""
-    baseline = run_experiment(workload, "native", model=model)
-    rows = []
-    for name in names or sorted(HARDWARE_CLASSIFIERS):
-        classifier = HARDWARE_CLASSIFIERS[name]
-        result = run_experiment(
-            workload,
-            f"simty[{name}]",
+    cache = cache if cache is not None else ResultCache()
+    chosen = list(names or sorted(HARDWARE_CLASSIFIERS))
+    specs = [RunSpec(workload=workload, policy="native", model=model)]
+    specs.extend(
+        RunSpec(
+            workload=workload,
+            policy="simty",
+            policy_kwargs={"classifier": name},
+            policy_label=f"simty[{name}]",
             model=model,
-            policy_factory=lambda c=classifier: SimtyPolicy(hardware_classifier=c),
         )
+        for name in chosen
+    )
+    records = run_many(specs, max_workers=max_workers, cache=cache)
+    baseline = records[0].result
+    rows = []
+    for name, record in zip(chosen, records[1:]):
+        result = record.result
         rows.append(
             {
                 "classifier": name,
@@ -83,15 +114,28 @@ def scale_sweep(
     app_counts: Sequence[int] = (10, 25, 50, 100),
     seed: int = 1,
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """NATIVE-vs-SIMTY savings on synthetic workloads of growing size."""
-    from ..core.native import NativePolicy
-
-    rows = []
+    cache = cache if cache is not None else ResultCache()
+    specs = []
     for count in app_counts:
-        config = SyntheticConfig(app_count=count, seed=seed)
-        native = run_workload(generate(config), NativePolicy(), model=model)
-        simty = run_workload(generate(config), SimtyPolicy(), model=model)
+        for policy in ("native", "simty"):
+            specs.append(
+                RunSpec(
+                    workload="synthetic",
+                    policy=policy,
+                    workload_kwargs={"app_count": count},
+                    seed=seed,
+                    model=model,
+                )
+            )
+    records = run_many(specs, max_workers=max_workers, cache=cache)
+    rows = []
+    for index, count in enumerate(app_counts):
+        native = records[2 * index].result
+        simty = records[2 * index + 1].result
         rows.append(
             {
                 "apps": count,
@@ -107,6 +151,8 @@ def bucket_sweep(
     workload: str = "heavy",
     bucket_intervals_s: Sequence[int] = (60, 120, 300, 600),
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """Compare SIMTY with the fixed-interval remedy of [Lin et al.] (A4).
 
@@ -114,36 +160,31 @@ def bucket_sweep(
     worst window violation of a *perceptible* major alarm — the
     user-experience damage SIMTY's search phase rules out by construction.
     """
-    baseline = run_experiment(workload, "native", model=model)
-    rows: List[Dict] = []
-    simty = run_experiment(workload, "simty", model=model)
-    rows.append(
-        {
-            "policy": "simty",
-            "wakeups": simty.wakeups.cpu.delivered,
-            "total_savings": savings_fraction(baseline.energy, simty.energy),
-            "worst_window_miss_s": max_window_violation_ms(
-                simty.trace, labels=simty.major_labels
-            )
-            / 1000.0,
-        }
-    )
-    for interval_s in bucket_intervals_s:
-        result = run_experiment(
-            workload,
-            f"bucket-{interval_s}s",
+    cache = cache if cache is not None else ResultCache()
+    specs = [
+        RunSpec(workload=workload, policy="native", model=model),
+        RunSpec(workload=workload, policy="simty", model=model),
+    ]
+    specs.extend(
+        RunSpec(
+            workload=workload,
+            policy="bucket",
+            policy_kwargs={"bucket_interval": interval_s * 1000},
+            policy_label=f"bucket-{interval_s}s",
             model=model,
-            policy_factory=lambda s=interval_s: FixedIntervalPolicy(
-                bucket_interval=s * 1000
-            ),
         )
+        for interval_s in bucket_intervals_s
+    )
+    records = run_many(specs, max_workers=max_workers, cache=cache)
+    baseline = records[0].result
+    rows: List[Dict] = []
+    for record in records[1:]:
+        result = record.result
         rows.append(
             {
-                "policy": f"bucket-{interval_s}s",
+                "policy": result.policy_name,
                 "wakeups": result.wakeups.cpu.delivered,
-                "total_savings": savings_fraction(
-                    baseline.energy, result.energy
-                ),
+                "total_savings": savings_fraction(baseline.energy, result.energy),
                 "worst_window_miss_s": max_window_violation_ms(
                     result.trace, labels=result.major_labels
                 )
@@ -157,16 +198,28 @@ def sensitivity_sweep(
     workload: str = "light",
     scales: Sequence[float] = (0.75, 1.0, 1.25),
     model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """Perturb the calibrated power constants and re-derive the headline.
 
     The paper's conclusions should not hinge on any single calibration
     constant (DESIGN.md §5).  Each row scales one group of constants —
     the sleep floor, the awake base power, or every component activation
-    energy — by ``scale`` and reports SIMTY's total savings.
+    energy — by ``scale`` and reports SIMTY's total savings.  Only two
+    simulations run (NATIVE and SIMTY); the perturbations re-price the
+    same traces.
     """
-    native = run_experiment(workload, "native", model=model)
-    simty = run_experiment(workload, "simty", model=model)
+    cache = cache if cache is not None else ResultCache()
+    records = run_many(
+        [
+            RunSpec(workload=workload, policy="native", model=model),
+            RunSpec(workload=workload, policy="simty", model=model),
+        ],
+        max_workers=max_workers,
+        cache=cache,
+    )
+    native, simty = records[0].result, records[1].result
 
     def scaled_model(group: str, scale: float) -> PowerModel:
         if group == "sleep":
@@ -202,24 +255,32 @@ def sensitivity_sweep(
 
 
 def duration_sweep(
-    workload: str = "heavy", model: PowerModel = NEXUS5
+    workload: str = "heavy",
+    model: PowerModel = NEXUS5,
+    cache: Optional[ResultCache] = None,
+    max_workers: int = 1,
 ) -> List[Dict]:
     """SIMTY vs the Sec. 5 duration-aware extension."""
+    cache = cache if cache is not None else ResultCache()
+    records = run_many(
+        [
+            RunSpec(workload=workload, policy="native", model=model),
+            RunSpec(workload=workload, policy="simty", model=model),
+            RunSpec(workload=workload, policy="simty+dur", model=model),
+        ],
+        max_workers=max_workers,
+        cache=cache,
+    )
+    baseline = records[0].result
     rows = []
-    baseline = run_experiment(workload, "native", model=model)
-    for name, factory in (
-        ("simty", SimtyPolicy),
-        ("simty+dur", DurationAwareSimtyPolicy),
-    ):
-        result = run_experiment(
-            workload, name, model=model, policy_factory=factory
-        )
+    for record in records[1:]:
+        result = record.result
         hold_ms = sum(
             usage.hold_ms for usage in result.trace.wakelocks.usage.values()
         )
         rows.append(
             {
-                "policy": name,
+                "policy": result.policy_name,
                 "wakeups": result.wakeups.cpu.delivered,
                 "hardware_hold_ms": hold_ms,
                 "total_savings": savings_fraction(baseline.energy, result.energy),

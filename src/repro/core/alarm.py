@@ -62,6 +62,7 @@ class Alarm:
         "hardware_known",
         "delivery_count",
         "last_delivery",
+        "claimed_by",
     )
 
     def __init__(
@@ -140,6 +141,10 @@ class Alarm:
         self.hardware_known = hardware_known
         self.delivery_count = 0
         self.last_delivery: Optional[int] = None
+        #: Identity token of the Simulator that consumed this alarm.
+        #: Alarms are mutable and single-use; the simulator uses this to
+        #: reject registration of an alarm another run already owns.
+        self.claimed_by: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Classification

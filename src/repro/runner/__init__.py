@@ -1,0 +1,43 @@
+"""The unified run harness: specs, registries, caching and execution.
+
+One layer, four pieces (see docs/architecture.md, "Run harness"):
+
+* :class:`RunSpec` — a frozen, hashable, digestible description of one run;
+* :class:`Registry` / :data:`DEFAULT_REGISTRY` — pluggable name → factory
+  maps for policies and workloads (``register_policy`` /
+  ``register_workload``);
+* :class:`ResultCache` — content-addressed in-memory + on-disk result
+  store keyed by spec digests;
+* :func:`run_spec` / :func:`run_many` — cache-aware execution, with a
+  process-pool fan-out and deterministic result ordering.
+"""
+
+from .cache import CacheStats, ResultCache
+from .executor import execute_spec, run_built, run_many, run_spec
+from .record import ExperimentResult, RunRecord, summary_table
+from .registry import (
+    DEFAULT_REGISTRY,
+    Registry,
+    UnknownNameError,
+    register_policy,
+    register_workload,
+)
+from .spec import RunSpec
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "execute_spec",
+    "run_built",
+    "run_many",
+    "run_spec",
+    "ExperimentResult",
+    "RunRecord",
+    "summary_table",
+    "DEFAULT_REGISTRY",
+    "Registry",
+    "UnknownNameError",
+    "register_policy",
+    "register_workload",
+    "RunSpec",
+]

@@ -1,0 +1,101 @@
+"""Content-addressed result cache.
+
+Results are keyed by the :meth:`RunSpec.digest` — a stable SHA-256 over the
+spec's canonical encoding — so two specs that would simulate the same thing
+share one entry, across sweeps, across calls, and (with ``disk_dir``)
+across processes.  The cache never inspects results; identical digest means
+identical simulation by construction (the engine is deterministic).
+
+``stats`` counts how the harness resolved each spec: ``hits`` (served from
+memory, disk, or an identical spec earlier in the same batch) and
+``misses`` (simulations actually executed).  The counters are the
+acceptance instrument for "beta_sweep over 6 betas issues exactly 7
+simulations".
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .record import ExperimentResult, RunRecord
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, maintained by the executor."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.hits} hits / {self.misses} misses"
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) store of experiment results.
+
+    With ``disk_dir`` set, every stored result is also pickled to
+    ``<disk_dir>/<digest>.pkl`` and lookups fall back to disk on a memory
+    miss — that is what lets a pool of worker processes, or a later CLI
+    invocation, reuse earlier simulations.
+    """
+
+    def __init__(self, disk_dir: Optional[Union[str, Path]] = None) -> None:
+        self._memory: Dict[str, ExperimentResult] = {}
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self._disk_dir is not None:
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        #: Every RunRecord resolved through this cache, in submission
+        #: order — the CLI's ``--stats`` summary table reads this log.
+        self.records: List[RunRecord] = []
+
+    # ------------------------------------------------------------------
+    # Plumbing (no stats side effects; the executor does the counting)
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[ExperimentResult]:
+        result = self._memory.get(digest)
+        if result is not None:
+            return result
+        if self._disk_dir is not None:
+            path = self._disk_path(digest)
+            if path.exists():
+                with path.open("rb") as handle:
+                    result = pickle.load(handle)
+                self._memory[digest] = result
+                return result
+        return None
+
+    def put(self, digest: str, result: ExperimentResult) -> None:
+        self._memory[digest] = result
+        if self._disk_dir is not None:
+            path = self._disk_path(digest)
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+
+    def __contains__(self, digest: str) -> bool:
+        if digest in self._memory:
+            return True
+        return (
+            self._disk_dir is not None and self._disk_path(digest).exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (on-disk entries are kept)."""
+        self._memory.clear()
+
+    def _disk_path(self, digest: str) -> Path:
+        assert self._disk_dir is not None
+        return self._disk_dir / f"{digest}.pkl"

@@ -1,0 +1,233 @@
+"""The run harness: build, execute, cache, parallelize.
+
+``run_built`` is the single composition point of the whole experiment stack
+— workload + policy + simulator + power model → :class:`ExperimentResult`.
+Everything above it (``run_experiment``, the sweeps, the replication suite,
+the CLI) is sugar over three entry points:
+
+* :func:`execute_spec` — resolve a :class:`RunSpec` through a registry and
+  simulate it (no caching);
+* :func:`run_spec` — the cache-aware single-run front end, returning a
+  :class:`RunRecord`;
+* :func:`run_many` — the batch front end: deduplicates identical specs,
+  consults the cache, fans the remaining work out over a
+  ``ProcessPoolExecutor`` (serial for ``max_workers=1``), and returns
+  records **in input order** regardless of completion order.
+
+Parallel workers rebuild specs from scratch through the *default* registry
+(registries hold live callables and do not cross process boundaries), so
+``run_many`` silently falls back to serial execution when given a custom
+registry.  Determinism makes this safe: a spec simulates identically in any
+process, which the parallel-equivalence tests assert byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.policy import AlignmentPolicy
+from ..metrics.delay import delay_report
+from ..metrics.wakeups import wakeup_breakdown
+from ..power.accounting import account
+from ..power.model import PowerModel
+from ..power.profiles import NEXUS5
+from ..simulator.engine import Simulator, SimulatorConfig
+from ..workloads.scenarios import Workload
+from .cache import ResultCache
+from .record import ExperimentResult, RunRecord
+from .registry import DEFAULT_REGISTRY, Registry
+from .spec import RunSpec
+
+
+def run_built(
+    workload: Workload,
+    policy: AlignmentPolicy,
+    model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
+    policy_name: Optional[str] = None,
+    external_events: tuple = (),
+) -> ExperimentResult:
+    """Run an already-built workload under a policy instance.
+
+    ``external_events`` injects user/push wakes (see
+    :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
+    """
+    config = simulator_config or SimulatorConfig(horizon=workload.horizon)
+    if config.horizon != workload.horizon:
+        config = SimulatorConfig(
+            horizon=workload.horizon,
+            wake_latency_ms=config.wake_latency_ms,
+            tail_ms=config.tail_ms,
+        )
+    simulator = Simulator(policy, config=config, external_events=external_events)
+    workload.apply(simulator)
+    trace = simulator.run()
+    majors = workload.major_labels()
+    return ExperimentResult(
+        workload_name=workload.name,
+        policy_name=policy_name or policy.name,
+        trace=trace,
+        energy=account(trace, model),
+        delays=delay_report(trace, labels=majors),
+        wakeups=wakeup_breakdown(trace, major_labels=majors),
+        major_labels=majors,
+    )
+
+
+def execute_spec(
+    spec: RunSpec, registry: Optional[Registry] = None
+) -> ExperimentResult:
+    """Resolve and simulate ``spec`` unconditionally (no cache)."""
+    registry = registry or DEFAULT_REGISTRY
+    workload = registry.build_workload(
+        spec.workload,
+        spec.scenario,
+        seed=spec.seed,
+        **dict(spec.workload_kwargs),
+    )
+    policy = registry.create_policy(spec.policy, **dict(spec.policy_kwargs))
+    return run_built(
+        workload,
+        policy,
+        model=spec.model,
+        simulator_config=spec.simulator,
+        policy_name=spec.display_name(),
+    )
+
+
+def run_spec(
+    spec: RunSpec,
+    cache: Optional[ResultCache] = None,
+    registry: Optional[Registry] = None,
+) -> RunRecord:
+    """Run one spec through the cache, returning its :class:`RunRecord`."""
+    digest = spec.digest()
+    if cache is not None:
+        cached = cache.get(digest)
+        if cached is not None:
+            cache.stats.hits += 1
+            record = RunRecord(
+                spec=spec,
+                digest=digest,
+                result=cached,
+                wall_time_s=0.0,
+                cache_hit=True,
+            )
+            cache.records.append(record)
+            return record
+    started = time.perf_counter()
+    result = execute_spec(spec, registry)
+    wall = time.perf_counter() - started
+    if cache is not None:
+        cache.stats.misses += 1
+        cache.put(digest, result)
+    record = RunRecord(
+        spec=spec, digest=digest, result=result, wall_time_s=wall, cache_hit=False
+    )
+    if cache is not None:
+        cache.records.append(record)
+    return record
+
+
+def _execute_timed(spec: RunSpec) -> Tuple[ExperimentResult, float]:
+    """Worker entry point: simulate via the default registry and time it."""
+    started = time.perf_counter()
+    result = execute_spec(spec, registry=None)
+    return result, time.perf_counter() - started
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry: Optional[Registry] = None,
+) -> List[RunRecord]:
+    """Run a batch of specs, deduplicated and (optionally) in parallel.
+
+    The returned list is index-aligned with ``specs``.  Specs sharing a
+    digest are simulated once; later occurrences are recorded as cache
+    hits.  ``max_workers=1`` runs serially in-process; larger values use a
+    process pool (custom registries force the serial path, since workers
+    only see the default registry).
+    """
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    digests = [spec.digest() for spec in specs]
+    records: List[Optional[RunRecord]] = [None] * len(specs)
+
+    # Resolution pass, in input order: cache hit, in-batch duplicate, or
+    # a fresh simulation to schedule.
+    to_run: Dict[str, int] = {}  # digest -> first index needing execution
+    for index, (spec, digest) in enumerate(zip(specs, digests)):
+        if digest in to_run:
+            continue  # duplicate of a scheduled run; filled in below
+        cached = cache.get(digest) if cache is not None else None
+        if cached is not None:
+            cache.stats.hits += 1
+            records[index] = RunRecord(
+                spec=spec,
+                digest=digest,
+                result=cached,
+                wall_time_s=0.0,
+                cache_hit=True,
+            )
+        else:
+            to_run[digest] = index
+
+    # Execution pass over the unique misses.
+    pending = [(index, specs[index]) for index in to_run.values()]
+    use_pool = max_workers > 1 and registry is None and len(pending) > 1
+    if use_pool:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = list(
+                pool.map(_execute_timed, [spec for _, spec in pending])
+            )
+    else:
+        outcomes = [
+            _execute_timed_with_registry(spec, registry) for _, spec in pending
+        ]
+    for (index, spec), (result, wall) in zip(pending, outcomes):
+        digest = digests[index]
+        if cache is not None:
+            cache.stats.misses += 1
+            cache.put(digest, result)
+        records[index] = RunRecord(
+            spec=spec,
+            digest=digest,
+            result=result,
+            wall_time_s=wall,
+            cache_hit=False,
+        )
+
+    # Fill the in-batch duplicates of executed specs, preserving input
+    # order.  (Duplicates of cache hits were already resolved above: their
+    # second lookup hit the cache again.)
+    executed = {digests[index]: records[index] for index in to_run.values()}
+    for index, (spec, digest) in enumerate(zip(specs, digests)):
+        if records[index] is not None:
+            continue
+        source = executed[digest]
+        assert source is not None
+        if cache is not None:
+            cache.stats.hits += 1
+        records[index] = RunRecord(
+            spec=spec,
+            digest=digest,
+            result=source.result,
+            wall_time_s=0.0,
+            cache_hit=True,
+        )
+    resolved = [record for record in records if record is not None]
+    if cache is not None:
+        cache.records.extend(resolved)
+    return resolved
+
+
+def _execute_timed_with_registry(
+    spec: RunSpec, registry: Optional[Registry]
+) -> Tuple[ExperimentResult, float]:
+    started = time.perf_counter()
+    result = execute_spec(spec, registry)
+    return result, time.perf_counter() - started

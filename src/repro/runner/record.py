@@ -1,0 +1,76 @@
+"""Structured results: per-run measurements and harness run records.
+
+:class:`ExperimentResult` (historically defined in
+:mod:`repro.analysis.experiments`, still re-exported there) carries
+everything measured from one simulation.  :class:`RunRecord` wraps a result
+with harness metadata — the spec that produced it, its content digest,
+wall time, and whether it was served from the cache — and
+:func:`summary_table` renders a list of records as the plain-text table the
+CLI prints under ``--stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..metrics.delay import DelayReport
+from ..metrics.wakeups import WakeupBreakdown
+from ..power.accounting import EnergyBreakdown
+from ..simulator.trace import SimulationTrace
+from .spec import RunSpec
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything measured from one (policy, workload) run."""
+
+    workload_name: str
+    policy_name: str
+    trace: SimulationTrace
+    energy: EnergyBreakdown
+    delays: DelayReport
+    wakeups: WakeupBreakdown
+    major_labels: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One harness run: the spec, its digest, and how the result was made.
+
+    ``wall_time_s`` is the simulation's execution time (0.0 for cache
+    hits); ``cache_hit`` is True when the result came from the cache or
+    from an identical spec earlier in the same ``run_many`` batch.
+    """
+
+    spec: RunSpec
+    digest: str
+    result: ExperimentResult
+    wall_time_s: float
+    cache_hit: bool
+
+
+def summary_table(records: Sequence[RunRecord]) -> str:
+    """Render run records as an aligned plain-text table."""
+    headers = ("workload", "policy", "digest", "wall [s]", "cache", "wakeups", "total [J]")
+    rows = [
+        (
+            record.result.workload_name,
+            record.result.policy_name,
+            record.digest[:12],
+            f"{record.wall_time_s:.3f}",
+            "hit" if record.cache_hit else "miss",
+            str(record.result.wakeups.cpu.delivered),
+            f"{record.result.energy.total_mj / 1000.0:.1f}",
+        )
+        for record in records
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(tuple("-" * width for width in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -80,9 +80,24 @@ class Simulator:
     # Setup
     # ------------------------------------------------------------------
     def add_alarm(self, alarm: Alarm, at: int = 0) -> None:
-        """Schedule ``alarm`` to be registered at simulation time ``at``."""
+        """Schedule ``alarm`` to be registered at simulation time ``at``.
+
+        Alarms are mutable and single-use: registering an alarm that a
+        different :class:`Simulator` instance already claimed raises,
+        because its nominal time, observed hardware and delivery counters
+        were advanced by that run and a second run over the same object
+        would silently produce wrong metrics.  Build a fresh workload for
+        every run instead.
+        """
         if at < 0:
             raise ValueError("registration time must be non-negative")
+        if alarm.claimed_by is not None and alarm.claimed_by is not self:
+            raise ValueError(
+                f"alarm {alarm.label!r} was already consumed by a previous "
+                "Simulator run; alarms are mutable and single-use — build a "
+                "fresh workload (same builder, same config) for every run"
+            )
+        alarm.claimed_by = self
         self._registrations.append(
             _PendingRegistration(at, self._registration_seq, alarm)
         )

@@ -10,8 +10,8 @@ property-based tests can shrink failures to reproducible cases.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.alarm import Alarm, RepeatKind
 from ..core.hardware import (
@@ -61,8 +61,18 @@ class SyntheticConfig:
             raise ValueError("beta must be in [0, 1)")
 
 
-def generate(config: SyntheticConfig) -> Workload:
-    """Generate a reproducible synthetic workload."""
+def generate(config: SyntheticConfig, seed: Optional[int] = None) -> Workload:
+    """Generate a reproducible synthetic workload.
+
+    ``seed`` overrides ``config.seed`` when given; the run harness threads
+    :attr:`RunSpec.seed <repro.runner.spec.RunSpec.seed>` through here so
+    parallel workers rebuild byte-identical workloads.  Generation draws
+    only from this locally seeded RNG — never from the global
+    ``random`` state — so concurrent generation in a process pool cannot
+    perturb it.
+    """
+    if seed is not None:
+        config = replace(config, seed=seed)
     rng = random.Random(config.seed)
     hardware_sets = [entry[0] for entry in config.hardware_pool]
     weights = [entry[1] for entry in config.hardware_pool]

@@ -30,7 +30,17 @@ class TestRunExperiment:
             "simty+dur",
             "bucket",
         }
-        assert set(WORKLOAD_BUILDERS) == {"light", "heavy"}
+        assert set(WORKLOAD_BUILDERS) == {"light", "heavy", "synthetic"}
+
+    def test_registry_views_are_live(self):
+        from repro.runner import DEFAULT_REGISTRY
+
+        DEFAULT_REGISTRY.register_policy("noop-test", lambda: None)
+        try:
+            assert "noop-test" in POLICY_FACTORIES
+        finally:
+            DEFAULT_REGISTRY.unregister_policy("noop-test")
+        assert "noop-test" not in POLICY_FACTORIES
 
     def test_unknown_workload(self):
         with pytest.raises(KeyError):

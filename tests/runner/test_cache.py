@@ -1,0 +1,98 @@
+"""Content-addressed result cache: hits, misses, and the on-disk layer."""
+
+import dataclasses
+
+from repro.power.profiles import NEXUS5
+from repro.runner import ResultCache, RunSpec, run_spec
+from repro.workloads.scenarios import ScenarioConfig
+
+SHORT = ScenarioConfig(horizon=900_000)
+
+
+def short_spec(**changes) -> RunSpec:
+    base = RunSpec(workload="light", policy="simty", scenario=SHORT)
+    return dataclasses.replace(base, **changes) if changes else base
+
+
+class TestHitAndMiss:
+    def test_identical_spec_hits(self):
+        cache = ResultCache()
+        first = run_spec(short_spec(), cache=cache)
+        second = run_spec(short_spec(), cache=cache)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.result is first.result
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_beta_change_misses(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(
+            short_spec(scenario=ScenarioConfig(horizon=900_000, beta=0.9)),
+            cache=cache,
+        )
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_policy_kwargs_change_misses(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(
+            short_spec(policy_kwargs=(("classifier", "two-level"),)),
+            cache=cache,
+        )
+        assert cache.stats.misses == 2
+
+    def test_horizon_change_misses(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(
+            short_spec(scenario=ScenarioConfig(horizon=600_000)), cache=cache
+        )
+        assert cache.stats.misses == 2
+
+    def test_seed_change_misses(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(short_spec(seed=2), cache=cache)
+        assert cache.stats.misses == 2
+
+    def test_model_change_misses(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(
+            short_spec(model=dataclasses.replace(NEXUS5, sleep_power_mw=1.0)),
+            cache=cache,
+        )
+        assert cache.stats.misses == 2
+
+
+class TestDiskLayer:
+    def test_roundtrip_through_disk(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        # A second cache over the same directory simulates a new process.
+        reader = ResultCache(disk_dir=tmp_path)
+        replay = run_spec(short_spec(), cache=reader)
+        assert replay.cache_hit
+        assert replay.result.energy == record.result.energy
+        assert replay.result.wakeups == record.result.wakeups
+
+    def test_clear_keeps_disk_entries(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert record.digest in cache  # still on disk
+        assert cache.get(record.digest) is not None
+
+    def test_memory_only_cache_forgets_on_clear(self):
+        cache = ResultCache()
+        record = run_spec(short_spec(), cache=cache)
+        cache.clear()
+        assert cache.get(record.digest) is None
+
+    def test_records_log(self):
+        cache = ResultCache()
+        run_spec(short_spec(), cache=cache)
+        run_spec(short_spec(), cache=cache)
+        assert [record.cache_hit for record in cache.records] == [False, True]

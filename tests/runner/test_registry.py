@@ -1,0 +1,100 @@
+"""Registry: registration API, construction, and did-you-mean errors."""
+
+import pytest
+
+from repro.core.bucket import FixedIntervalPolicy
+from repro.core.simty import SimtyPolicy
+from repro.core.similarity import TwoLevelHardware
+from repro.runner.registry import (
+    DEFAULT_REGISTRY,
+    Registry,
+    UnknownNameError,
+)
+from repro.workloads.scenarios import ScenarioConfig
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+
+class TestDefaultEntries:
+    def test_default_policies(self):
+        assert DEFAULT_REGISTRY.policy_names() == [
+            "bucket",
+            "exact",
+            "native",
+            "simty",
+            "simty+dur",
+        ]
+
+    def test_default_workloads(self):
+        assert DEFAULT_REGISTRY.workload_names() == [
+            "heavy",
+            "light",
+            "synthetic",
+        ]
+
+    def test_policy_kwargs_reach_the_constructor(self):
+        policy = DEFAULT_REGISTRY.create_policy("bucket", bucket_interval=60_000)
+        assert isinstance(policy, FixedIntervalPolicy)
+        assert policy.bucket_interval == 60_000
+
+    def test_simty_classifier_kwarg(self):
+        policy = DEFAULT_REGISTRY.create_policy("simty", classifier="two-level")
+        assert isinstance(policy, SimtyPolicy)
+        assert isinstance(policy.hardware_classifier, TwoLevelHardware)
+
+    def test_seed_threads_into_scenario_phase(self):
+        one = DEFAULT_REGISTRY.build_workload("light", seed=1)
+        two = DEFAULT_REGISTRY.build_workload("light", seed=2)
+        assert one.alarms()[0].nominal_time != two.alarms()[0].nominal_time
+
+    def test_seed_threads_into_synthetic_generator(self):
+        built = DEFAULT_REGISTRY.build_workload(
+            "synthetic", app_count=5, seed=9
+        )
+        reference = generate(SyntheticConfig(app_count=5, seed=9))
+        assert built.name == reference.name
+        assert [a.nominal_time for a in built.alarms()] == [
+            a.nominal_time for a in reference.alarms()
+        ]
+
+    def test_synthetic_inherits_scenario_horizon(self):
+        built = DEFAULT_REGISTRY.build_workload(
+            "synthetic", ScenarioConfig(horizon=600_000), app_count=3
+        )
+        assert built.horizon == 600_000
+
+
+class TestErrors:
+    def test_unknown_policy_is_keyerror_with_suggestion(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            DEFAULT_REGISTRY.create_policy("simt")
+        assert "did you mean 'simty'" in str(excinfo.value)
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(KeyError) as excinfo:
+            DEFAULT_REGISTRY.build_workload("midweight")
+        assert "light" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry()
+        registry.register_policy("p", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_policy("p", lambda: None)
+        registry.register_policy("p", lambda: 1, replace=True)
+        assert registry.create_policy("p") == 1
+
+
+class TestIsolatedRegistry:
+    def test_custom_entries_resolve(self):
+        registry = Registry()
+        registry.register_policy("always-bucket", FixedIntervalPolicy)
+        registry.register_workload(
+            "tiny",
+            lambda config=None, *, seed=None: generate(
+                SyntheticConfig(app_count=2, horizon=300_000)
+            ),
+        )
+        assert registry.build_workload("tiny").horizon == 300_000
+        assert isinstance(
+            registry.create_policy("always-bucket"), FixedIntervalPolicy
+        )

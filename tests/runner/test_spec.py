@@ -1,0 +1,119 @@
+"""RunSpec: normalization, hashability, and digest stability."""
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.power.profiles import NEXUS5
+from repro.runner.spec import RunSpec, encode_value
+from repro.simulator.engine import SimulatorConfig
+from repro.workloads.scenarios import ScenarioConfig
+
+
+class TestNormalization:
+    def test_kwargs_mapping_becomes_sorted_tuple(self):
+        spec = RunSpec(
+            workload="light",
+            policy="bucket",
+            policy_kwargs={"b": 2, "a": 1},
+        )
+        assert spec.policy_kwargs == (("a", 1), ("b", 2))
+
+    def test_kwarg_order_does_not_change_identity(self):
+        first = RunSpec("light", "simty", policy_kwargs={"a": 1, "b": 2})
+        second = RunSpec("light", "simty", policy_kwargs={"b": 2, "a": 1})
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_none_scenario_normalizes_to_default(self):
+        assert RunSpec("light", "simty").scenario == ScenarioConfig()
+        assert (
+            RunSpec("light", "simty").digest()
+            == RunSpec("light", "simty", scenario=ScenarioConfig()).digest()
+        )
+
+    def test_hashable_and_usable_as_dict_key(self):
+        spec = RunSpec("light", "simty")
+        assert {spec: 1}[RunSpec("light", "simty")] == 1
+
+    def test_picklable(self):
+        spec = RunSpec(
+            "heavy",
+            "bucket",
+            policy_kwargs={"bucket_interval": 60_000},
+            seed=7,
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestDigestSensitivity:
+    def test_identical_specs_share_digest(self):
+        assert (
+            RunSpec("light", "simty").digest()
+            == RunSpec("light", "simty").digest()
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(policy="native"),
+            dict(workload="heavy"),
+            dict(policy_kwargs=(("classifier", "two-level"),)),
+            dict(workload_kwargs=(("app_count", 30),)),
+            dict(scenario=ScenarioConfig(beta=0.9)),
+            dict(scenario=ScenarioConfig(horizon=600_000)),
+            dict(simulator=SimulatorConfig(horizon=600_000)),
+            dict(seed=42),
+            dict(
+                model=dataclasses.replace(NEXUS5, sleep_power_mw=99.0)
+            ),
+        ],
+    )
+    def test_any_field_change_changes_digest(self, change):
+        base = RunSpec("light", "simty")
+        assert dataclasses.replace(base, **change).digest() != base.digest()
+
+    def test_label_excluded_from_digest(self):
+        assert (
+            RunSpec("light", "simty", policy_label="SIMTY (pretty)").digest()
+            == RunSpec("light", "simty").digest()
+        )
+
+    def test_digest_stable_across_processes(self):
+        spec = RunSpec(
+            "heavy",
+            "bucket",
+            policy_kwargs={"bucket_interval": 120_000},
+            scenario=ScenarioConfig(beta=0.9),
+            seed=3,
+        )
+        program = (
+            "from repro.runner.spec import RunSpec\n"
+            "from repro.workloads.scenarios import ScenarioConfig\n"
+            "spec = RunSpec('heavy', 'bucket',"
+            " policy_kwargs={'bucket_interval': 120_000},"
+            " scenario=ScenarioConfig(beta=0.9), seed=3)\n"
+            "print(spec.digest())\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip() == spec.digest()
+
+
+class TestEncodeValue:
+    def test_rejects_live_objects(self):
+        from repro.core.simty import SimtyPolicy
+
+        with pytest.raises(TypeError, match="registry name"):
+            encode_value(SimtyPolicy())
+
+    def test_mapping_encoding_is_order_independent(self):
+        assert encode_value({"x": 1, "y": 2}) == encode_value({"y": 2, "x": 1})

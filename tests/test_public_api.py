@@ -41,6 +41,62 @@ class TestPackageSurface:
         assert pair.comparison.total_savings > 0
 
 
+class TestHarnessShims:
+    """The pre-harness entry points keep working, delegating to repro.runner."""
+
+    def test_run_experiment_shim(self):
+        from repro import run_experiment
+        from repro.workloads.scenarios import ScenarioConfig
+
+        result = run_experiment(
+            "light", "simty", ScenarioConfig(horizon=900_000)
+        )
+        assert result.policy_name == "simty"
+        assert result.trace.delivery_count() > 0
+
+    def test_run_experiment_matches_harness(self):
+        from repro import RunSpec, run_experiment, run_spec
+        from repro.workloads.scenarios import ScenarioConfig
+
+        config = ScenarioConfig(horizon=900_000)
+        shim = run_experiment("light", "native", config)
+        harness = run_spec(
+            RunSpec(workload="light", policy="native", scenario=config)
+        )
+        assert shim.energy == harness.result.energy
+        assert shim.wakeups == harness.result.wakeups
+
+    def test_run_workload_shim(self):
+        from repro import SimtyPolicy, run_workload
+        from repro.workloads.synthetic import SyntheticConfig, generate
+
+        result = run_workload(
+            generate(SyntheticConfig(app_count=4, horizon=600_000)),
+            SimtyPolicy(),
+        )
+        assert result.trace.delivery_count() > 0
+
+    def test_experiment_result_importable_from_both_homes(self):
+        from repro.analysis.experiments import ExperimentResult as legacy
+        from repro.runner.record import ExperimentResult as canonical
+
+        assert legacy is canonical
+
+    def test_harness_names_exported(self):
+        import repro
+
+        for name in (
+            "RunSpec",
+            "RunRecord",
+            "ResultCache",
+            "run_spec",
+            "run_many",
+            "register_policy",
+            "register_workload",
+        ):
+            assert hasattr(repro, name), name
+
+
 class TestEntryPoints:
     def test_python_dash_m_help(self):
         completed = subprocess.run(
