@@ -1,0 +1,64 @@
+"""P2 — supervised execution: happy-path overhead must be negligible.
+
+Runs one serial grid twice through ``repro.runner.run_many`` — once on the
+legacy fast path (no supervision knobs) and once fully supervised
+(``timeout_s`` + ``retries`` + ``on_error="keep_going"``) — and compares
+wall time.  On a healthy batch the supervisor adds one daemon-thread join
+per spec and some bookkeeping; the assertion bounds that overhead
+generously so the bench stays stable on loaded CI machines, while the
+emitted ratio lets a human eyeball the real cost (typically ~1x).
+"""
+
+import time
+
+from repro.runner import RunSpec, RunStatus, run_many
+
+SEEDS = tuple(range(1, 7))
+
+
+def _grid():
+    return [
+        RunSpec(
+            workload="synthetic",
+            policy=policy,
+            workload_kwargs={"app_count": 30},
+            seed=seed,
+        )
+        for seed in SEEDS
+        for policy in ("native", "simty")
+    ]
+
+
+def test_bench_supervised_overhead(benchmark, emit):
+    started = time.perf_counter()
+    plain = run_many(_grid())
+    plain_s = time.perf_counter() - started
+
+    def supervised_run():
+        return run_many(
+            _grid(),
+            timeout_s=120.0,
+            retries=2,
+            on_error="keep_going",
+        )
+
+    supervised = benchmark.pedantic(supervised_run, rounds=1, iterations=1)
+
+    assert all(record.status is RunStatus.OK for record in supervised)
+    assert len(supervised) == len(plain)
+    for before, after in zip(plain, supervised):
+        assert before.digest == after.digest
+        assert before.result.energy == after.result.energy
+        assert before.result.wakeups == after.result.wakeups
+
+    supervised_s = benchmark.stats.stats.mean
+    ratio = supervised_s / plain_s if plain_s > 0 else float("inf")
+    emit(
+        "supervised-execution overhead (serial, healthy batch)\n"
+        f"  plain run_many:       {plain_s:8.3f} s\n"
+        f"  supervised run_many:  {supervised_s:8.3f} s\n"
+        f"  ratio:                {ratio:8.2f}x"
+    )
+    # Generous bound: supervision must never change the complexity class
+    # of a healthy sweep.  Typical observed ratio is close to 1.
+    assert supervised_s < plain_s * 2.0 + 1.0

@@ -53,8 +53,10 @@ from .core import (
 from .power import NEXUS5, PowerModel, account
 from .runner import (
     ResultCache,
+    RunJournal,
     RunRecord,
     RunSpec,
+    RunStatus,
     register_policy,
     register_workload,
     run_many,
@@ -87,8 +89,10 @@ __all__ = [
     "PowerModel",
     "account",
     "ResultCache",
+    "RunJournal",
     "RunRecord",
     "RunSpec",
+    "RunStatus",
     "register_policy",
     "register_workload",
     "run_many",

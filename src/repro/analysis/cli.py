@@ -21,7 +21,7 @@ from ..metrics.wakeups import wakeup_breakdown
 from ..power.accounting import account
 from ..power.attribution import attribution_table
 from ..power.profiles import NEXUS5
-from ..runner import ResultCache, summary_table
+from ..runner import ResultCache, RunJournal, failure_table, summary_table
 from ..simulator.events import event_log
 from ..simulator.serialize import load_trace, save_trace
 from ..workloads.scenarios import ScenarioConfig
@@ -146,6 +146,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
 def _add_harness_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -157,13 +171,47 @@ def _add_harness_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print the harness run records (digests, wall time, cache hits)",
+        help=(
+            "print the harness run records (digests, wall time, cache hits)"
+            " and, when any run failed, a failure-summary table"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         default=None,
         help="content-addressed on-disk result cache shared across invocations",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="supervise each simulation attempt with this wall-clock budget",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="re-execute a failed or timed-out run up to N extra times",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "quarantine failed runs as FAILED/TIMEOUT records instead of"
+            " aborting the whole batch"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from the cache dir's checkpoint"
+            " journal (requires --cache-dir); only digests the journal"
+            " recorded as completed are trusted to the cache"
+        ),
     )
 
 
@@ -177,9 +225,30 @@ def _harness_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(disk_dir=args.cache_dir)
 
 
+def _supervision_kwargs(args: argparse.Namespace) -> dict:
+    """The supervised-execution kwargs shared by paper and sweep commands."""
+    if args.resume and args.cache_dir is None:
+        raise SystemExit("--resume requires --cache-dir (the journal lives there)")
+    checkpoint = (
+        RunJournal.at(args.cache_dir) if args.cache_dir is not None else None
+    )
+    return dict(
+        timeout_s=args.timeout,
+        retries=args.retries,
+        on_error="keep_going" if args.keep_going else "raise",
+        checkpoint=checkpoint,
+        resume=args.resume,
+    )
+
+
 def _print_stats(cache: ResultCache) -> None:
     print()
     print(summary_table(cache.records))
+    failures = failure_table(cache.records)
+    if failures:
+        print()
+        print("failed runs (quarantined by the supervisor):")
+        print(failures)
     print(f"cache: {cache.stats}")
 
 
@@ -190,7 +259,14 @@ def _command_paper(args: argparse.Namespace) -> int:
         scenario_config=scenario_config,
         cache=cache,
         max_workers=args.workers,
+        **_supervision_kwargs(args),
     )
+    if len(matrix) < 2:
+        missing = sorted({"light", "heavy"} - set(matrix))
+        print(
+            f"warning: dropped workload(s) {missing} — a half pair renders "
+            "nothing; see --stats for the captured failures"
+        )
     print(render_all(matrix))
     if args.json:
         from .export import export_paper_results
@@ -251,7 +327,9 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     cache = _harness_cache(args)
-    harness = dict(cache=cache, max_workers=args.workers)
+    harness = dict(
+        cache=cache, max_workers=args.workers, **_supervision_kwargs(args)
+    )
     if args.kind == "beta":
         rows = beta_sweep(workload=args.workload, **harness)
     elif args.kind == "classifier":
@@ -270,7 +348,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     headers = list(rows[0].keys())
     body = [
         [
-            f"{value:.4f}" if isinstance(value, float) else str(value)
+            "-"
+            if value is None
+            else f"{value:.4f}"
+            if isinstance(value, float)
+            else str(value)
             for value in row.values()
         ]
         for row in rows

@@ -156,8 +156,15 @@ def run_pair(
     simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> PairResult:
-    """Run the paper's basic comparison on one workload."""
+    """Run the paper's basic comparison on one workload.
+
+    A pair is meaningless with a missing half, so this front end always
+    runs with ``on_error="raise"``; use :func:`run_paper_matrix` (or
+    ``run_many`` directly) when partial results should survive.
+    """
     specs = pair_specs(
         workload,
         baseline_policy,
@@ -167,7 +174,11 @@ def run_pair(
         simulator_config,
     )
     baseline, improved = run_many(
-        specs, max_workers=max_workers, cache=cache
+        specs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_s=timeout_s,
+        retries=retries,
     )
     return PairResult(
         workload_name=workload,
@@ -181,20 +192,42 @@ def run_paper_matrix(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint=None,
+    resume: bool = False,
 ) -> Dict[str, PairResult]:
-    """Both workloads, NATIVE vs SIMTY: the inputs to Figs. 3-4 and Table 4."""
+    """Both workloads, NATIVE vs SIMTY: the inputs to Figs. 3-4 and Table 4.
+
+    Under ``on_error="keep_going"`` a workload whose baseline or improved
+    run failed is *omitted* from the returned matrix (a half pair renders
+    nothing meaningful); the failure itself stays visible through the
+    cache's record log and the CLI's ``--stats`` failure table.
+    """
     workloads = ("light", "heavy")
     specs = []
     for workload in workloads:
         specs.extend(
             pair_specs(workload, scenario_config=scenario_config, model=model)
         )
-    records = run_many(specs, max_workers=max_workers, cache=cache)
-    return {
-        workload: PairResult(
-            workload_name=workload,
-            baseline=records[2 * index].result,
-            improved=records[2 * index + 1].result,
+    records = run_many(
+        specs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        on_error=on_error,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    matrix: Dict[str, PairResult] = {}
+    for index, workload in enumerate(workloads):
+        baseline = records[2 * index].result
+        improved = records[2 * index + 1].result
+        if baseline is None or improved is None:
+            continue
+        matrix[workload] = PairResult(
+            workload_name=workload, baseline=baseline, improved=improved
         )
-        for index, workload in enumerate(workloads)
-    }
+    return matrix

@@ -11,13 +11,14 @@ every headline metric.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
 from ..runner.cache import ResultCache
 from ..runner.executor import run_many
+from ..runner.journal import RunJournal
 from ..workloads.scenarios import ScenarioConfig
 from .experiments import PairResult, pair_specs
 
@@ -49,7 +50,12 @@ class MetricStats:
 
 @dataclass(frozen=True)
 class ReplicatedPair:
-    """Headline metrics of a policy pair across replicated runs."""
+    """Headline metrics of a policy pair across replicated runs.
+
+    ``failed_seeds`` lists replicas that were quarantined by the
+    supervised executor (``on_error="keep_going"``); the statistics
+    aggregate only the seeds whose pair completed.
+    """
 
     workload: str
     seeds: List[int]
@@ -59,6 +65,7 @@ class ReplicatedPair:
     baseline_wakeups: MetricStats
     improved_wakeups: MetricStats
     improved_imperceptible_delay: MetricStats
+    failed_seeds: List[int] = field(default_factory=list)
 
 
 def replicate_pair(
@@ -68,29 +75,60 @@ def replicate_pair(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> ReplicatedPair:
     """Run NATIVE-vs-SIMTY once per phase seed and aggregate.
 
     The whole seed grid goes through :func:`repro.runner.run_many` as one
     batch, so repeated seeds hit the cache and ``max_workers > 1`` runs
-    the replicas concurrently.
+    the replicas concurrently.  Under ``on_error="keep_going"`` a seed
+    whose baseline or improved run failed is dropped from the statistics
+    and surfaced in ``failed_seeds``; if *every* seed failed, raises
+    ``RuntimeError`` (there is nothing to aggregate).
     """
+    seeds = list(seeds)
     specs = []
     for seed in seeds:
         config = replace(base_config, phase_seed=seed)
         specs.extend(pair_specs(workload, scenario_config=config, model=model))
-    records = run_many(specs, max_workers=max_workers, cache=cache)
-    pairs: List[PairResult] = [
-        PairResult(
-            workload_name=workload,
-            baseline=records[2 * index].result,
-            improved=records[2 * index + 1].result,
+    records = run_many(
+        specs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        on_error=on_error,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    pairs: List[PairResult] = []
+    failed_seeds: List[int] = []
+    for index, seed in enumerate(seeds):
+        baseline = records[2 * index]
+        improved = records[2 * index + 1]
+        if baseline.result is None or improved.result is None:
+            failed_seeds.append(seed)
+            continue
+        pairs.append(
+            PairResult(
+                workload_name=workload,
+                baseline=baseline.result,
+                improved=improved.result,
+            )
         )
-        for index in range(len(list(seeds)))
-    ]
+    if not pairs:
+        raise RuntimeError(
+            f"every replica of {workload!r} failed (seeds {failed_seeds}); "
+            "see the failure table under --stats for the captured errors"
+        )
     return ReplicatedPair(
         workload=workload,
-        seeds=list(seeds),
+        seeds=seeds,
+        failed_seeds=failed_seeds,
         total_savings=MetricStats.of(
             [pair.comparison.total_savings for pair in pairs]
         ),
@@ -118,6 +156,9 @@ def replicate_matrix(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
 ) -> Dict[str, ReplicatedPair]:
     """Both workloads, replicated — the paper's full reported protocol."""
     return {
@@ -128,6 +169,9 @@ def replicate_matrix(
             model,
             cache=cache,
             max_workers=max_workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            on_error=on_error,
         )
         for workload in ("light", "heavy")
     }

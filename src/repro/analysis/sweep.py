@@ -18,11 +18,18 @@ then collapses the repeated baseline to a single simulation: a six-beta
 ``beta_sweep`` issues exactly 7 simulations (1 NATIVE + 6 SIMTY).  Pass a
 shared :class:`~repro.runner.cache.ResultCache` to reuse baselines *across*
 sweeps too, and ``max_workers`` to fan the grid out over processes.
+
+Every sweep also accepts the supervised-execution knobs (``timeout_s``,
+``retries``, ``on_error``, ``checkpoint``, ``resume`` — see
+docs/robustness.md).  With ``on_error="keep_going"`` a failed grid cell
+does not abort the sweep: its row is still emitted, with ``None`` in every
+metric that needed the missing result (the CLI renders these as ``-`` and
+prints a failure summary under ``--stats``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import dataclasses
 
@@ -33,8 +40,37 @@ from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
 from ..runner.cache import ResultCache
 from ..runner.executor import run_many
+from ..runner.journal import RunJournal
 from ..runner.spec import RunSpec
 from ..workloads.scenarios import ScenarioConfig
+
+
+def _harness_kwargs(
+    cache: ResultCache,
+    max_workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    on_error: str,
+    checkpoint: Optional[RunJournal],
+    resume: bool,
+) -> Dict[str, Any]:
+    """The ``run_many`` kwargs shared by every sweep."""
+    return dict(
+        cache=cache,
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        on_error=on_error,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+
+
+def _savings(baseline, result) -> Optional[float]:
+    """Savings vs baseline, or None when either cell is missing."""
+    if baseline is None or result is None:
+        return None
+    return savings_fraction(baseline.energy, result.energy)
 
 
 def beta_sweep(
@@ -43,6 +79,11 @@ def beta_sweep(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """Sweep the grace fraction; NATIVE is the beta-independent baseline."""
     cache = cache if cache is not None else ResultCache()
@@ -57,7 +98,12 @@ def beta_sweep(
                 model=model,
             )
         )
-    records = run_many(specs, max_workers=max_workers, cache=cache)
+    records = run_many(
+        specs,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
+    )
     rows = []
     for index, beta in enumerate(betas):
         baseline = records[2 * index].result
@@ -65,9 +111,11 @@ def beta_sweep(
         rows.append(
             {
                 "beta": beta,
-                "wakeups": result.wakeups.cpu.delivered,
-                "total_savings": savings_fraction(baseline.energy, result.energy),
-                "imperceptible_delay": result.delays.imperceptible.mean,
+                "wakeups": result.wakeups.cpu.delivered if result else None,
+                "total_savings": _savings(baseline, result),
+                "imperceptible_delay": (
+                    result.delays.imperceptible.mean if result else None
+                ),
             }
         )
     return rows
@@ -79,6 +127,11 @@ def classifier_sweep(
     names: Optional[Iterable[str]] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """Compare the hardware-similarity granularities of Sec. 3.1.1."""
     cache = cache if cache is not None else ResultCache()
@@ -94,7 +147,12 @@ def classifier_sweep(
         )
         for name in chosen
     )
-    records = run_many(specs, max_workers=max_workers, cache=cache)
+    records = run_many(
+        specs,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
+    )
     baseline = records[0].result
     rows = []
     for name, record in zip(chosen, records[1:]):
@@ -102,9 +160,11 @@ def classifier_sweep(
         rows.append(
             {
                 "classifier": name,
-                "wakeups": result.wakeups.cpu.delivered,
-                "total_savings": savings_fraction(baseline.energy, result.energy),
-                "imperceptible_delay": result.delays.imperceptible.mean,
+                "wakeups": result.wakeups.cpu.delivered if result else None,
+                "total_savings": _savings(baseline, result),
+                "imperceptible_delay": (
+                    result.delays.imperceptible.mean if result else None
+                ),
             }
         )
     return rows
@@ -116,6 +176,11 @@ def scale_sweep(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """NATIVE-vs-SIMTY savings on synthetic workloads of growing size."""
     cache = cache if cache is not None else ResultCache()
@@ -131,7 +196,12 @@ def scale_sweep(
                     model=model,
                 )
             )
-    records = run_many(specs, max_workers=max_workers, cache=cache)
+    records = run_many(
+        specs,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
+    )
     rows = []
     for index, count in enumerate(app_counts):
         native = records[2 * index].result
@@ -139,9 +209,9 @@ def scale_sweep(
         rows.append(
             {
                 "apps": count,
-                "native_wakeups": native.wakeups.cpu.delivered,
-                "simty_wakeups": simty.wakeups.cpu.delivered,
-                "total_savings": savings_fraction(native.energy, simty.energy),
+                "native_wakeups": native.wakeups.cpu.delivered if native else None,
+                "simty_wakeups": simty.wakeups.cpu.delivered if simty else None,
+                "total_savings": _savings(native, simty),
             }
         )
     return rows
@@ -153,6 +223,11 @@ def bucket_sweep(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """Compare SIMTY with the fixed-interval remedy of [Lin et al.] (A4).
 
@@ -175,20 +250,29 @@ def bucket_sweep(
         )
         for interval_s in bucket_intervals_s
     )
-    records = run_many(specs, max_workers=max_workers, cache=cache)
+    records = run_many(
+        specs,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
+    )
     baseline = records[0].result
     rows: List[Dict] = []
     for record in records[1:]:
         result = record.result
         rows.append(
             {
-                "policy": result.policy_name,
-                "wakeups": result.wakeups.cpu.delivered,
-                "total_savings": savings_fraction(baseline.energy, result.energy),
-                "worst_window_miss_s": max_window_violation_ms(
-                    result.trace, labels=result.major_labels
-                )
-                / 1000.0,
+                "policy": record.policy_name(),
+                "wakeups": result.wakeups.cpu.delivered if result else None,
+                "total_savings": _savings(baseline, result),
+                "worst_window_miss_s": (
+                    max_window_violation_ms(
+                        result.trace, labels=result.major_labels
+                    )
+                    / 1000.0
+                    if result
+                    else None
+                ),
             }
         )
     return rows
@@ -200,6 +284,11 @@ def sensitivity_sweep(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """Perturb the calibrated power constants and re-derive the headline.
 
@@ -216,8 +305,9 @@ def sensitivity_sweep(
             RunSpec(workload=workload, policy="native", model=model),
             RunSpec(workload=workload, policy="simty", model=model),
         ],
-        max_workers=max_workers,
-        cache=cache,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
     )
     native, simty = records[0].result, records[1].result
 
@@ -241,6 +331,11 @@ def sensitivity_sweep(
     rows: List[Dict] = []
     for group in ("sleep", "awake_base", "activation"):
         for scale in scales:
+            if native is None or simty is None:
+                rows.append(
+                    {"group": group, "scale": scale, "total_savings": None}
+                )
+                continue
             perturbed = scaled_model(group, scale)
             baseline = account(native.trace, perturbed)
             improved = account(simty.trace, perturbed)
@@ -259,6 +354,11 @@ def duration_sweep(
     model: PowerModel = NEXUS5,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[Dict]:
     """SIMTY vs the Sec. 5 duration-aware extension."""
     cache = cache if cache is not None else ResultCache()
@@ -268,22 +368,25 @@ def duration_sweep(
             RunSpec(workload=workload, policy="simty", model=model),
             RunSpec(workload=workload, policy="simty+dur", model=model),
         ],
-        max_workers=max_workers,
-        cache=cache,
+        **_harness_kwargs(
+            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+        ),
     )
     baseline = records[0].result
     rows = []
     for record in records[1:]:
         result = record.result
-        hold_ms = sum(
-            usage.hold_ms for usage in result.trace.wakelocks.usage.values()
+        hold_ms = (
+            sum(usage.hold_ms for usage in result.trace.wakelocks.usage.values())
+            if result
+            else None
         )
         rows.append(
             {
-                "policy": result.policy_name,
-                "wakeups": result.wakeups.cpu.delivered,
+                "policy": record.policy_name(),
+                "wakeups": result.wakeups.cpu.delivered if result else None,
                 "hardware_hold_ms": hold_ms,
-                "total_savings": savings_fraction(baseline.energy, result.energy),
+                "total_savings": _savings(baseline, result),
             }
         )
     return rows

@@ -7,15 +7,25 @@ across processes.  The cache never inspects results; identical digest means
 identical simulation by construction (the engine is deterministic).
 
 ``stats`` counts how the harness resolved each spec: ``hits`` (served from
-memory, disk, or an identical spec earlier in the same batch) and
-``misses`` (simulations actually executed).  The counters are the
-acceptance instrument for "beta_sweep over 6 betas issues exactly 7
-simulations".
+memory, disk, or an identical spec earlier in the same batch), ``misses``
+(simulations actually executed) and ``corrupt`` (on-disk entries that
+failed to unpickle and were quarantined).  The counters are the acceptance
+instrument for "beta_sweep over 6 betas issues exactly 7 simulations".
+
+The disk layer is crash-safe in both directions: writes go through a
+per-writer unique temp file followed by an atomic ``os.replace`` (two
+concurrent writers of the same digest cannot clobber each other's
+half-written temp), and reads *quarantine* corrupt or truncated pickles —
+the bad file is renamed to ``<digest>.pkl.corrupt`` and the lookup reports
+a miss, so one torn entry costs one re-simulation instead of the whole
+sweep.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -25,17 +35,23 @@ from .record import ExperimentResult, RunRecord
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, maintained by the executor."""
+    """Hit/miss/corruption counters, maintained by the executor and cache."""
 
     hits: int = 0
     misses: int = 0
+    #: On-disk entries that failed to load and were quarantined (each one
+    #: also shows up as a miss when the executor re-simulates the spec).
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.hits} hits / {self.misses} misses"
+        text = f"{self.hits} hits / {self.misses} misses"
+        if self.corrupt:
+            text += f" / {self.corrupt} corrupt entries quarantined"
+        return text
 
 
 class ResultCache:
@@ -57,8 +73,12 @@ class ResultCache:
         #: order — the CLI's ``--stats`` summary table reads this log.
         self.records: List[RunRecord] = []
 
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        return self._disk_dir
+
     # ------------------------------------------------------------------
-    # Plumbing (no stats side effects; the executor does the counting)
+    # Plumbing (no hit/miss side effects; the executor does the counting)
     # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[ExperimentResult]:
         result = self._memory.get(digest)
@@ -67,8 +87,21 @@ class ResultCache:
         if self._disk_dir is not None:
             path = self._disk_path(digest)
             if path.exists():
-                with path.open("rb") as handle:
-                    result = pickle.load(handle)
+                try:
+                    with path.open("rb") as handle:
+                        result = pickle.load(handle)
+                    if not isinstance(result, ExperimentResult):
+                        raise pickle.UnpicklingError(
+                            f"cache entry {path.name} holds "
+                            f"{type(result).__name__}, not ExperimentResult"
+                        )
+                except Exception:
+                    # Truncated write, foreign bytes, or a stale schema:
+                    # quarantine the entry and treat the lookup as a miss
+                    # so the spec is simply re-simulated.
+                    self._quarantine(path)
+                    self.stats.corrupt += 1
+                    return None
                 self._memory[digest] = result
                 return result
         return None
@@ -77,10 +110,18 @@ class ResultCache:
         self._memory[digest] = result
         if self._disk_dir is not None:
             path = self._disk_path(digest)
-            tmp = path.with_suffix(".tmp")
-            with tmp.open("wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
+            # Unique per-writer temp name: two processes storing the same
+            # digest must not interleave writes into one shared temp file.
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+            )
+            try:
+                with tmp.open("wb") as handle:
+                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.replace(path)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
 
     def __contains__(self, digest: str) -> bool:
         if digest in self._memory:
@@ -99,3 +140,18 @@ class ResultCache:
     def _disk_path(self, digest: str) -> Path:
         assert self._disk_dir is not None
         return self._disk_dir / f"{digest}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside as ``<name>.corrupt`` (never raises)."""
+        target = path.with_name(path.name + ".corrupt")
+        if target.exists():
+            target = path.with_name(
+                f"{path.name}.{uuid.uuid4().hex[:8]}.corrupt"
+            )
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing quarantines
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -1,4 +1,4 @@
-"""The run harness: build, execute, cache, parallelize.
+"""The run harness: build, execute, cache, parallelize, supervise.
 
 ``run_built`` is the single composition point of the whole experiment stack
 — workload + policy + simulator + power model → :class:`ExperimentResult`.
@@ -14,6 +14,14 @@ the CLI) is sugar over three entry points:
   ``ProcessPoolExecutor`` (serial for ``max_workers=1``), and returns
   records **in input order** regardless of completion order.
 
+``run_many`` is *supervised* (see :mod:`repro.runner.supervision`): with
+``on_error="keep_going"`` a failing or hanging spec is quarantined as a
+:class:`~repro.runner.record.RunStatus` ``FAILED`` / ``TIMEOUT`` record
+while the rest of the batch completes; ``timeout_s`` bounds each attempt,
+``retries`` resubmits failed attempts (with exponential backoff + jitter on
+the serial path), and a :class:`~repro.runner.journal.RunJournal` checkpoint
+lets an interrupted sweep resume from where it died.
+
 Parallel workers rebuild specs from scratch through the *default* registry
 (registries hold live callables and do not cross process boundaries), so
 ``run_many`` silently falls back to serial execution when given a custom
@@ -23,9 +31,9 @@ process, which the parallel-equivalence tests assert byte-for-byte.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.policy import AlignmentPolicy
 from ..metrics.delay import delay_report
@@ -36,9 +44,20 @@ from ..power.profiles import NEXUS5
 from ..simulator.engine import Simulator, SimulatorConfig
 from ..workloads.scenarios import Workload
 from .cache import ResultCache
-from .record import ExperimentResult, RunRecord
+from .journal import RunJournal
+from .record import ExperimentResult, RunRecord, RunStatus
 from .registry import DEFAULT_REGISTRY, Registry
 from .spec import RunSpec
+from .supervision import (
+    Outcome,
+    SpecExecutionError,
+    SpecTimeoutError,
+    run_supervised_pool,
+    run_supervised_serial,
+)
+
+#: Accepted values for ``run_many``'s ``on_error``.
+ON_ERROR_MODES = ("raise", "keep_going")
 
 
 def run_built(
@@ -56,11 +75,7 @@ def run_built(
     """
     config = simulator_config or SimulatorConfig(horizon=workload.horizon)
     if config.horizon != workload.horizon:
-        config = SimulatorConfig(
-            horizon=workload.horizon,
-            wake_latency_ms=config.wake_latency_ms,
-            tail_ms=config.tail_ms,
-        )
+        config = dataclasses.replace(config, horizon=workload.horizon)
     simulator = Simulator(policy, config=config, external_events=external_events)
     workload.apply(simulator)
     trace = simulator.run()
@@ -131,11 +146,46 @@ def run_spec(
     return record
 
 
-def _execute_timed(spec: RunSpec) -> Tuple[ExperimentResult, float]:
-    """Worker entry point: simulate via the default registry and time it."""
-    started = time.perf_counter()
-    result = execute_spec(spec, registry=None)
-    return result, time.perf_counter() - started
+def _record_from_outcome(
+    spec: RunSpec, digest: str, outcome: Outcome
+) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        digest=digest,
+        result=outcome.result,
+        wall_time_s=outcome.wall_time_s,
+        cache_hit=False,
+        status=outcome.status,
+        error_type=outcome.error_type,
+        error_message=outcome.error_message,
+        traceback=outcome.traceback,
+        attempts=outcome.attempts,
+    )
+
+
+def _raise_outcome(
+    spec: RunSpec,
+    digest: str,
+    outcome: Outcome,
+    timeout_s: Optional[float],
+) -> None:
+    """Re-raise a failed outcome for ``on_error="raise"``.
+
+    The original exception object is preferred (serial path and picklable
+    pool errors); otherwise a :class:`SpecExecutionError` /
+    :class:`SpecTimeoutError` carries the captured details.
+    """
+    if outcome.status is RunStatus.TIMEOUT:
+        raise SpecTimeoutError(spec, digest, timeout_s or 0.0, outcome.attempts)
+    if outcome.error is not None:
+        raise outcome.error
+    raise SpecExecutionError(
+        spec,
+        digest,
+        outcome.error_type or "Exception",
+        outcome.error_message or "",
+        outcome.attempts,
+    )
 
 
 def run_many(
@@ -143,27 +193,71 @@ def run_many(
     max_workers: int = 1,
     cache: Optional[ResultCache] = None,
     registry: Optional[Registry] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    checkpoint: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> List[RunRecord]:
-    """Run a batch of specs, deduplicated and (optionally) in parallel.
+    """Run a batch of specs, deduplicated, supervised, and (optionally)
+    in parallel.
 
     The returned list is index-aligned with ``specs``.  Specs sharing a
     digest are simulated once; later occurrences are recorded as cache
     hits.  ``max_workers=1`` runs serially in-process; larger values use a
     process pool (custom registries force the serial path, since workers
     only see the default registry).
+
+    Supervision:
+
+    * ``timeout_s`` bounds each execution attempt (daemon-thread join on
+      the serial path; per-future wait on the pool path);
+    * ``retries`` re-executes a failed or timed-out attempt up to that
+      many extra times (exponential backoff + jitter serially,
+      resubmission on a fresh pool in parallel); a success after a retry
+      is recorded as ``RunStatus.RETRIED_OK``;
+    * ``on_error="raise"`` (default) propagates the first failure —
+      immediately on the serial path, after the batch drains on the pool
+      path; ``"keep_going"`` quarantines failures as ``FAILED`` /
+      ``TIMEOUT`` records (``result is None``) and returns the partial
+      batch, still index-aligned;
+    * ``checkpoint`` journals every terminally-resolved digest; with
+      ``resume=True`` only journaled digests are trusted to the cache and
+      everything else — including entries a dying run half-committed — is
+      re-executed.  Without ``resume`` the journal restarts from scratch.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (or None)")
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint journal")
+
+    if checkpoint is not None and not resume:
+        checkpoint.reset()
+    trusted = checkpoint.completed() if (checkpoint and resume) else None
+
     digests = [spec.digest() for spec in specs]
     records: List[Optional[RunRecord]] = [None] * len(specs)
 
+    def journal(digest: str, status: RunStatus) -> None:
+        if checkpoint is not None:
+            checkpoint.record(digest, status)
+
     # Resolution pass, in input order: cache hit, in-batch duplicate, or
-    # a fresh simulation to schedule.
+    # a fresh simulation to schedule.  On resume, a digest missing from
+    # the journal is never trusted to the cache (its entry may be a
+    # half-committed write from the run that died) and is re-executed.
     to_run: Dict[str, int] = {}  # digest -> first index needing execution
     for index, (spec, digest) in enumerate(zip(specs, digests)):
         if digest in to_run:
             continue  # duplicate of a scheduled run; filled in below
-        cached = cache.get(digest) if cache is not None else None
+        trustworthy = trusted is None or digest in trusted
+        cached = cache.get(digest) if (cache is not None and trustworthy) else None
         if cached is not None:
             cache.stats.hits += 1
             records[index] = RunRecord(
@@ -173,61 +267,81 @@ def run_many(
                 wall_time_s=0.0,
                 cache_hit=True,
             )
+            journal(digest, RunStatus.OK)
         else:
             to_run[digest] = index
 
-    # Execution pass over the unique misses.
+    # Execution pass over the unique misses, under supervision.
     pending = [(index, specs[index]) for index in to_run.values()]
     use_pool = max_workers > 1 and registry is None and len(pending) > 1
+    outcomes: Dict[int, Outcome] = {}
     if use_pool:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            outcomes = list(
-                pool.map(_execute_timed, [spec for _, spec in pending])
-            )
+        outcomes = run_supervised_pool(
+            pending, max_workers=max_workers, timeout_s=timeout_s, retries=retries
+        )
     else:
-        outcomes = [
-            _execute_timed_with_registry(spec, registry) for _, spec in pending
-        ]
-    for (index, spec), (result, wall) in zip(pending, outcomes):
+        supervised = timeout_s is not None or retries > 0
+        for index, spec in pending:
+            if supervised:
+                outcome = run_supervised_serial(
+                    spec, registry, timeout_s=timeout_s, retries=retries
+                )
+            else:
+                # Legacy fast path: zero supervision overhead, and — under
+                # on_error="raise" — the original exception propagates
+                # immediately, exactly as the unsupervised executor did.
+                if on_error == "raise":
+                    started = time.perf_counter()
+                    result = execute_spec(spec, registry)
+                    outcome = Outcome(
+                        status=RunStatus.OK,
+                        result=result,
+                        wall_time_s=time.perf_counter() - started,
+                        attempts=1,
+                    )
+                else:
+                    outcome = run_supervised_serial(spec, registry)
+            if not outcome.ok and on_error == "raise":
+                _raise_outcome(spec, digests[index], outcome, timeout_s)
+            outcomes[index] = outcome
+
+    for index, spec in pending:
+        outcome = outcomes[index]
         digest = digests[index]
+        if not outcome.ok and on_error == "raise":
+            _raise_outcome(spec, digest, outcome, timeout_s)
         if cache is not None:
             cache.stats.misses += 1
-            cache.put(digest, result)
-        records[index] = RunRecord(
-            spec=spec,
-            digest=digest,
-            result=result,
-            wall_time_s=wall,
-            cache_hit=False,
-        )
+            if outcome.result is not None:
+                cache.put(digest, outcome.result)
+        journal(digest, outcome.status)
+        records[index] = _record_from_outcome(spec, digest, outcome)
 
     # Fill the in-batch duplicates of executed specs, preserving input
     # order.  (Duplicates of cache hits were already resolved above: their
-    # second lookup hit the cache again.)
+    # second lookup hit the cache again.)  Duplicates of a failed spec
+    # share its failure without charging another attempt.
     executed = {digests[index]: records[index] for index in to_run.values()}
     for index, (spec, digest) in enumerate(zip(specs, digests)):
         if records[index] is not None:
             continue
         source = executed[digest]
         assert source is not None
-        if cache is not None:
-            cache.stats.hits += 1
-        records[index] = RunRecord(
-            spec=spec,
-            digest=digest,
-            result=source.result,
-            wall_time_s=0.0,
-            cache_hit=True,
-        )
+        if source.ok:
+            if cache is not None:
+                cache.stats.hits += 1
+            records[index] = RunRecord(
+                spec=spec,
+                digest=digest,
+                result=source.result,
+                wall_time_s=0.0,
+                cache_hit=True,
+            )
+        else:
+            records[index] = dataclasses.replace(
+                source, spec=spec, wall_time_s=0.0
+            )
     resolved = [record for record in records if record is not None]
     if cache is not None:
         cache.records.extend(resolved)
     return resolved
-
-
-def _execute_timed_with_registry(
-    spec: RunSpec, registry: Optional[Registry]
-) -> Tuple[ExperimentResult, float]:
-    started = time.perf_counter()
-    result = execute_spec(spec, registry)
-    return result, time.perf_counter() - started

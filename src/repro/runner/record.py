@@ -4,21 +4,43 @@
 :mod:`repro.analysis.experiments`, still re-exported there) carries
 everything measured from one simulation.  :class:`RunRecord` wraps a result
 with harness metadata — the spec that produced it, its content digest,
-wall time, and whether it was served from the cache — and
-:func:`summary_table` renders a list of records as the plain-text table the
-CLI prints under ``--stats``.
+wall time, whether it was served from the cache, and (since the supervised
+executor) an explicit :class:`RunStatus` outcome with captured error
+details — and :func:`summary_table` / :func:`failure_table` render lists of
+records as the plain-text tables the CLI prints under ``--stats``.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..metrics.delay import DelayReport
 from ..metrics.wakeups import WakeupBreakdown
 from ..power.accounting import EnergyBreakdown
 from ..simulator.trace import SimulationTrace
 from .spec import RunSpec
+
+
+class RunStatus(enum.Enum):
+    """How a supervised run ended.
+
+    ``OK`` — simulated (or served from cache) on the first attempt;
+    ``RETRIED_OK`` — succeeded after at least one failed attempt;
+    ``FAILED`` — every attempt raised (the last error is captured);
+    ``TIMEOUT`` — every attempt exceeded the supervisor's ``timeout_s``.
+    """
+
+    OK = "ok"
+    RETRIED_OK = "retried_ok"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+
+    @property
+    def is_ok(self) -> bool:
+        """True when the record carries a usable result."""
+        return self in (RunStatus.OK, RunStatus.RETRIED_OK)
 
 
 @dataclass(frozen=True)
@@ -36,41 +58,99 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One harness run: the spec, its digest, and how the result was made.
+    """One harness run: the spec, its digest, and how the run ended.
 
     ``wall_time_s`` is the simulation's execution time (0.0 for cache
     hits); ``cache_hit`` is True when the result came from the cache or
     from an identical spec earlier in the same ``run_many`` batch.
+    ``result`` is ``None`` exactly when ``status`` is not ok; the error
+    fields then describe the last failed attempt.  ``attempts`` counts
+    every execution attempt the supervisor made for this digest.
     """
 
     spec: RunSpec
     digest: str
-    result: ExperimentResult
+    result: Optional[ExperimentResult]
     wall_time_s: float
     cache_hit: bool
+    status: RunStatus = RunStatus.OK
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    traceback: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status.is_ok
+
+    def workload_name(self) -> str:
+        if self.result is not None:
+            return self.result.workload_name
+        return self.spec.workload
+
+    def policy_name(self) -> str:
+        if self.result is not None:
+            return self.result.policy_name
+        return self.spec.display_name()
 
 
-def summary_table(records: Sequence[RunRecord]) -> str:
-    """Render run records as an aligned plain-text table."""
-    headers = ("workload", "policy", "digest", "wall [s]", "cache", "wakeups", "total [J]")
-    rows = [
-        (
-            record.result.workload_name,
-            record.result.policy_name,
-            record.digest[:12],
-            f"{record.wall_time_s:.3f}",
-            "hit" if record.cache_hit else "miss",
-            str(record.result.wakeups.cpu.delivered),
-            f"{record.result.energy.total_mj / 1000.0:.1f}",
-        )
-        for record in records
-    ]
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     widths = [
         max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
         for col in range(len(headers))
     ]
+
     def fmt(cells):
         return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
     lines = [fmt(headers), fmt(tuple("-" * width for width in widths))]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def summary_table(records: Sequence[RunRecord]) -> str:
+    """Render run records as an aligned plain-text table."""
+    headers = (
+        "workload", "policy", "digest", "status", "wall [s]", "cache", "wakeups", "total [J]",
+    )
+    rows = [
+        (
+            record.workload_name(),
+            record.policy_name(),
+            record.digest[:12],
+            record.status.value,
+            f"{record.wall_time_s:.3f}",
+            "hit" if record.cache_hit else "miss",
+            str(record.result.wakeups.cpu.delivered) if record.result else "-",
+            f"{record.result.energy.total_mj / 1000.0:.1f}" if record.result else "-",
+        )
+        for record in records
+    ]
+    return _render_table(headers, rows)
+
+
+def failure_table(records: Sequence[RunRecord]) -> str:
+    """Render the failed/timed-out records (empty string when all ok)."""
+    failed = [record for record in records if not record.ok]
+    if not failed:
+        return ""
+    headers = ("workload", "policy", "digest", "status", "attempts", "error")
+    rows = []
+    for record in failed:
+        error = record.error_type or "-"
+        if record.error_message:
+            first_line = record.error_message.splitlines()[0]
+            if len(first_line) > 60:
+                first_line = first_line[:57] + "..."
+            error = f"{error}: {first_line}"
+        rows.append(
+            (
+                record.workload_name(),
+                record.policy_name(),
+                record.digest[:12],
+                record.status.value,
+                str(record.attempts),
+                error,
+            )
+        )
+    return _render_table(headers, rows)

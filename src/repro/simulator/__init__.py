@@ -13,7 +13,13 @@ from .android_api import (
 )
 from .clock import VirtualClock
 from .device import DEFAULT_TAIL_MS, Device, WakeReason, WakeSession
-from .engine import Simulator, SimulatorConfig, simulate
+from .engine import (
+    DEFAULT_MAX_STALLED_EVENTS,
+    SimulationStalled,
+    Simulator,
+    SimulatorConfig,
+    simulate,
+)
 from .events import Event, EventKind, event_log
 from .external import ExternalWake, poisson_wakes, schedule
 from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
@@ -40,6 +46,8 @@ __all__ = [
     "DEFAULT_TAIL_MS",
     "Simulator",
     "SimulatorConfig",
+    "SimulationStalled",
+    "DEFAULT_MAX_STALLED_EVENTS",
     "simulate",
     "Event",
     "EventKind",

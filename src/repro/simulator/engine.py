@@ -26,17 +26,57 @@ from .tasks import component_hold_times, schedule_batch_tasks
 from .trace import BatchRecord, RegistrationRecord, SimulationTrace, snapshot_delivery
 
 
+#: Default ceiling on consecutive loop iterations that fail to advance the
+#: clock before the watchdog declares the simulation stalled.  Legitimate
+#: same-instant chains (a registration plus its delivery, a rebatch) are a
+#: handful of iterations; tens of thousands means a zero-interval alarm or a
+#: policy rescheduling into the past.
+DEFAULT_MAX_STALLED_EVENTS = 10_000
+
+
 @dataclass(frozen=True)
 class SimulatorConfig:
-    """Tunable device/runtime parameters (see DESIGN.md calibration notes)."""
+    """Tunable device/runtime parameters (see DESIGN.md calibration notes).
+
+    ``max_events`` is an optional hard budget on main-loop iterations — a
+    guard against alarm storms that technically advance the clock but
+    would run for hours; ``max_stalled_events`` bounds consecutive
+    iterations at one instant (a non-advancing clock).  Exceeding either
+    raises :class:`SimulationStalled` instead of hanging the process, so a
+    supervisor can quarantine the run as FAILED.
+    """
 
     horizon: int = THREE_HOURS_MS
     wake_latency_ms: int = DEFAULT_WAKE_LATENCY_MS
     tail_ms: int = DEFAULT_TAIL_MS
+    max_events: Optional[int] = None
+    max_stalled_events: int = DEFAULT_MAX_STALLED_EVENTS
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError("max_events must be positive (or None)")
+        if self.max_stalled_events <= 0:
+            raise ValueError("max_stalled_events must be positive")
+
+
+class SimulationStalled(RuntimeError):
+    """The engine watchdog tripped: the run would never (usefully) finish.
+
+    Carries the simulation time, how many loop iterations had run, and the
+    tripped budget, so a supervisor can record a structured failure.
+    """
+
+    def __init__(self, reason: str, time_ms: int, events: int, budget: int):
+        self.reason = reason
+        self.time_ms = time_ms
+        self.events = events
+        self.budget = budget
+        super().__init__(
+            f"simulation stalled at t={time_ms}ms after {events} events: "
+            f"{reason} (budget {budget})"
+        )
 
 
 @dataclass(order=True)
@@ -75,6 +115,9 @@ class Simulator:
         self._batch_index = 0
         self._session_fresh = False
         self._ran = False
+        self._events = 0
+        self._stalled = 0
+        self._last_instant = -1
 
     # ------------------------------------------------------------------
     # Setup
@@ -91,6 +134,12 @@ class Simulator:
         """
         if at < 0:
             raise ValueError("registration time must be non-negative")
+        if at >= self.config.horizon:
+            raise ValueError(
+                f"registration time {at} is at or beyond the horizon "
+                f"({self.config.horizon}); the alarm would silently never "
+                "fire — register earlier or extend the horizon"
+            )
         if alarm.claimed_by is not None and alarm.claimed_by is not self:
             raise ValueError(
                 f"alarm {alarm.label!r} was already consumed by a previous "
@@ -115,6 +164,12 @@ class Simulator:
         """
         if at < 0:
             raise ValueError("cancellation time must be non-negative")
+        if at >= self.config.horizon:
+            raise ValueError(
+                f"cancellation time {at} is at or beyond the horizon "
+                f"({self.config.horizon}); the cancellation would silently "
+                "never take effect"
+            )
         self._cancellations.append(
             _PendingRegistration(at, self._registration_seq, alarm)
         )
@@ -132,10 +187,20 @@ class Simulator:
         self._registration_index = 0
         self._cancellations.sort()
         horizon = self.config.horizon
+        self._events = 0
+        self._stalled = 0
+        self._last_instant = -1
         while True:
             instant = self._next_event_time()
             if instant is None or instant >= horizon:
                 break
+            # Watchdog: a policy or injected fault that stops the clock
+            # from advancing (or floods the loop past its event budget)
+            # must raise a structured error rather than hang the process.
+            # The delivery loops tick it too — an alarm that reschedules
+            # itself due at the same instant stalls *inside* an iteration,
+            # where the outer loop alone would never notice.
+            self._watchdog_tick(instant)
             self.clock.advance_to(instant)
             self._process_registrations()
             self._process_cancellations()
@@ -150,6 +215,33 @@ class Simulator:
         self.device.force_sleep(max(horizon, self.clock.now))
         self.trace.sessions = self.device.sessions
         return self.trace
+
+    def _watchdog_tick(self, instant: int) -> None:
+        """Count one scheduler step; raise when a budget trips.
+
+        ``max_events`` bounds total steps (outer iterations plus
+        same-instant delivery pops); ``max_stalled_events`` bounds how many
+        *consecutive* steps may share one instant before the run is
+        declared stalled.
+        """
+        self._events += 1
+        max_events = self.config.max_events
+        if max_events is not None and self._events > max_events:
+            raise SimulationStalled(
+                "event budget exhausted", self.clock.now, self._events, max_events
+            )
+        if instant <= self._last_instant:
+            self._stalled += 1
+            if self._stalled > self.config.max_stalled_events:
+                raise SimulationStalled(
+                    "clock is not advancing",
+                    self.clock.now,
+                    self._events,
+                    self.config.max_stalled_events,
+                )
+        else:
+            self._stalled = 0
+        self._last_instant = instant
 
     # ------------------------------------------------------------------
     # Event scheduling
@@ -244,6 +336,7 @@ class Simulator:
             scheduled = self.manager.next_wakeup_time()
             if scheduled is None or scheduled > self.clock.now:
                 break
+            self._watchdog_tick(scheduled)
             entry = self.manager.pop_due_wakeup(self.clock.now)
             assert entry is not None
             self._deliver_entry(entry, scheduled)
@@ -253,6 +346,7 @@ class Simulator:
             scheduled = self.manager.next_nonwakeup_time()
             if scheduled is None or scheduled > self.clock.now:
                 break
+            self._watchdog_tick(scheduled)
             entry = self.manager.pop_due_nonwakeup(self.clock.now)
             assert entry is not None
             self._deliver_entry(entry, scheduled)

@@ -96,3 +96,115 @@ class TestDiskLayer:
         run_spec(short_spec(), cache=cache)
         run_spec(short_spec(), cache=cache)
         assert [record.cache_hit for record in cache.records] == [False, True]
+
+
+class TestCorruptEntries:
+    def _entry_path(self, cache_dir, digest):
+        return cache_dir / f"{digest}.pkl"
+
+    def test_truncated_pickle_is_quarantined(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        path = self._entry_path(tmp_path, record.digest)
+        path.write_bytes(path.read_bytes()[:10])
+
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get(record.digest) is None
+        assert reader.stats.corrupt == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_foreign_bytes_are_quarantined(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        self._entry_path(tmp_path, record.digest).write_bytes(b"\x00garbage")
+
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get(record.digest) is None
+        assert reader.stats.corrupt == 1
+
+    def test_wrong_payload_type_is_quarantined(self, tmp_path):
+        import pickle
+
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        # A valid pickle of the wrong type (e.g. written by foreign code).
+        self._entry_path(tmp_path, record.digest).write_bytes(
+            pickle.dumps({"not": "a result"})
+        )
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get(record.digest) is None
+        assert reader.stats.corrupt == 1
+
+    def test_quarantined_entry_is_resimulated(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        self._entry_path(tmp_path, record.digest).write_bytes(b"torn")
+
+        reader = ResultCache(disk_dir=tmp_path)
+        replay = run_spec(short_spec(), cache=reader)
+        assert not replay.cache_hit  # treated as a miss...
+        assert replay.result.energy == record.result.energy
+        assert reader.stats.misses == 1
+        # ...and the slot is healthy again for the next process.
+        third = ResultCache(disk_dir=tmp_path)
+        assert third.get(record.digest) is not None
+        assert third.stats.corrupt == 0
+
+    def test_quarantine_does_not_clobber_prior_quarantine(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=writer)
+        path = self._entry_path(tmp_path, record.digest)
+        marker = path.with_name(path.name + ".corrupt")
+        marker.write_bytes(b"earlier quarantine")
+        path.write_bytes(b"torn again")
+
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get(record.digest) is None
+        assert marker.read_bytes() == b"earlier quarantine"
+        corrupts = list(tmp_path.glob("*.corrupt"))
+        assert len(corrupts) == 2
+
+
+class TestAtomicWrites:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        run_spec(short_spec(), cache=cache)
+        run_spec(short_spec(seed=2), cache=cache)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+    def test_tmp_names_are_writer_unique(self, tmp_path):
+        """Two writers of one digest must use distinct temp paths, so a
+        slow writer can never interleave bytes into a fast writer's file."""
+        import pickle
+        from unittest import mock
+
+        cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=cache)
+        seen = []
+        original = pickle.dump
+
+        def spying_dump(obj, handle, *args, **kwargs):
+            seen.append(handle.name)
+            return original(obj, handle, *args, **kwargs)
+
+        with mock.patch("repro.runner.cache.pickle.dump", spying_dump):
+            cache.put(record.digest, record.result)
+            cache.put(record.digest, record.result)
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(".tmp" in name for name in seen)
+
+    def test_failed_write_cleans_its_tmp(self, tmp_path):
+        from unittest import mock
+
+        cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=cache)
+        with mock.patch(
+            "repro.runner.cache.pickle.dump", side_effect=OSError("disk full")
+        ):
+            import pytest
+
+            with pytest.raises(OSError):
+                cache.put("f" * 64, record.result)
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -74,6 +74,10 @@ class TestJitter:
         ]
         assert get(first) == get(second)
 
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            inject_jitter(build_light(), "TikTok", 10_000)
+
 
 class TestStorm:
     def test_interval_shrinks(self):
@@ -99,3 +103,42 @@ class TestStorm:
         wechat_clean = len(clean.trace.deliveries_for("WeChat"))
         wechat_storm = len(stormy.trace.deliveries_for("WeChat"))
         assert wechat_storm > 5 * wechat_clean
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            inject_storm(build_light(), "TikTok", 10)
+
+
+class TestCombinedFaults:
+    """Injectors chain (each returns the workload) and detectors still work."""
+
+    def test_jittered_buggy_app_still_flagged(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.simty import SimtyPolicy
+        from repro.metrics.anomaly import detect_no_sleep_suspects
+
+        workload = inject_jitter(
+            inject_no_sleep_bug(build_light(), "Line", 45_000),
+            "Line",
+            20_000,
+            seed=7,
+        )
+        result = run_workload(workload, SimtyPolicy())
+        suspects = detect_no_sleep_suspects(result.trace)
+        assert "Line" in [s.profile.app for s in suspects]
+
+    def test_storm_does_not_mask_buggy_neighbour(self):
+        from repro.analysis.experiments import run_workload
+        from repro.core.simty import SimtyPolicy
+        from repro.metrics.anomaly import detect_no_sleep_suspects
+
+        workload = inject_storm(
+            inject_no_sleep_bug(build_light(), "Facebook", 60_000),
+            "WeChat",
+            10,
+        )
+        result = run_workload(workload, SimtyPolicy())
+        suspects = [
+            s.profile.app for s in detect_no_sleep_suspects(result.trace)
+        ]
+        assert "Facebook" in suspects
