@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A cancellation storm under the online invariant monitor.
+
+Real connected-standby traffic churns: apps cancel their alarms, get
+updated (cancel + immediate re-register), and new apps appear mid-run.
+This example scripts a cancellation storm plus an app-update wave over
+the light workload, runs it under NATIVE and SIMTY with the invariant
+monitor armed (``on_violation="record"``), and prints what the monitor
+saw — any breach of the paper's Sec. 3.2.2 delivery guarantees or of the
+queue-structural invariants would be listed with its kind and simulated
+time.
+
+A clean report is the point: when a leader alarm of an aligned batch is
+cancelled mid-flight, the alarm manager re-anchors the surviving batch
+members through the policy instead of orphaning or double-delivering
+them.
+
+Run:  python examples/cancellation_storm.py
+"""
+
+from repro.core.native import NativePolicy
+from repro.core.simty import SimtyPolicy
+from repro.simulator.engine import Simulator, SimulatorConfig
+from repro.workloads.churn import app_update_wave, cancellation_storm
+from repro.workloads.scenarios import build_light
+
+
+def run_with_churn(policy):
+    workload = build_light()
+    majors = workload.major_labels()
+
+    # Minute 50: four apps cancel their alarms within a two-minute window.
+    # Minute 85: four other apps are updated one minute apart — each update
+    # cancels the pending alarm and immediately re-registers it.
+    workload.directives = cancellation_storm(
+        majors[:4], at=3_000_000, spread_ms=120_000, seed=7
+    ) + app_update_wave(majors[4:8], at=5_100_000, spacing_ms=60_000)
+
+    simulator = Simulator(policy, config=SimulatorConfig(monitor="record"))
+    workload.apply(simulator)
+    trace = simulator.run()
+    return trace, simulator.monitor
+
+
+def main():
+    print("Cancellation storm + app-update wave (light workload, 3 h):\n")
+    for policy in (NativePolicy(), SimtyPolicy()):
+        trace, monitor = run_with_churn(policy)
+        print(
+            f"{trace.policy_name:>6}: {trace.batch_count()} batches, "
+            f"{trace.wake_count()} wakeups, "
+            f"{monitor.check_count} monitor checks -> {monitor.summary().format()}"
+        )
+        for violation in trace.violations:
+            print(f"         {violation.format()}")
+        assert not trace.violations, "invariant breach under churn"
+    print(
+        "\nBoth policies survived the storm: survivors of every cancelled "
+        "batch were re-anchored,\nno occurrence was dropped or delivered "
+        "twice, and every gap stayed within its bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,7 @@ from repro import NEXUS5, SimtyPolicy, run_workload
 from repro.analysis.report import format_table
 from repro.metrics.anomaly import detect_no_sleep_suspects
 from repro.metrics.standby import standby_estimate
-from repro.workloads.faults import inject_no_sleep_bug
+from repro.workloads.faults import with_no_sleep_bug
 from repro.workloads.scenarios import build_light
 
 
@@ -22,7 +22,7 @@ def main():
 
     # Viber's sync task (0.8 s of work) now holds its Wi-Fi wakelock for a
     # full minute after every delivery.
-    buggy_workload = inject_no_sleep_bug(build_light(), "Viber", 60_000)
+    buggy_workload = with_no_sleep_bug(build_light(), "Viber", 60_000)
     buggy = run_workload(buggy_workload, SimtyPolicy())
 
     clean_hours = standby_estimate(clean.energy, NEXUS5).standby_hours

@@ -49,6 +49,8 @@ from .core import (
     QueueEntry,
     RepeatKind,
     SimtyPolicy,
+    Violation,
+    ViolationSummary,
 )
 from .power import NEXUS5, PowerModel, account
 from .runner import (
@@ -62,7 +64,14 @@ from .runner import (
     run_many,
     run_spec,
 )
-from .simulator import SimulationTrace, Simulator, SimulatorConfig, simulate
+from .simulator import (
+    InvariantMonitor,
+    InvariantViolationError,
+    SimulationTrace,
+    Simulator,
+    SimulatorConfig,
+    simulate,
+)
 from .workloads import ScenarioConfig, Workload, build_heavy, build_light
 
 __version__ = "1.0.0"
@@ -85,6 +94,10 @@ __all__ = [
     "QueueEntry",
     "RepeatKind",
     "SimtyPolicy",
+    "Violation",
+    "ViolationSummary",
+    "InvariantMonitor",
+    "InvariantViolationError",
     "NEXUS5",
     "PowerModel",
     "account",

@@ -11,6 +11,15 @@ from .experiments import (
     run_workload,
 )
 from .export import export_paper_results, paper_results
+from .fuzz import (
+    FuzzCase,
+    FuzzReport,
+    fuzz,
+    generate_case,
+    render_case,
+    run_case,
+    shrink_case,
+)
 from .figures import (
     TABLE4_COMPONENTS,
     fig2_motivating,
@@ -57,6 +66,13 @@ __all__ = [
     "run_workload",
     "export_paper_results",
     "paper_results",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz",
+    "generate_case",
+    "render_case",
+    "run_case",
+    "shrink_case",
     "TABLE4_COMPONENTS",
     "fig2_motivating",
     "fig3_energy",

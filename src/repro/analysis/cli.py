@@ -128,6 +128,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("validate", help="run installation self-checks")
 
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help=(
+            "differential-fuzz NATIVE vs SIMTY with the invariant monitor "
+            "armed; failures are shrunk to ready-to-paste test cases"
+        ),
+    )
+    fuzz_cmd.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the campaign (default 60)",
+    )
+    fuzz_cmd.add_argument(
+        "--cases",
+        type=_positive_int,
+        default=1_000,
+        metavar="N",
+        help="maximum number of generated cases (default 1000)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed",
+        type=_nonnegative_int,
+        default=0,
+        help="base seed; case i is generated from seed+i",
+    )
+
     sweep = sub.add_parser("sweep", help="ablations and scaling studies")
     sweep.add_argument(
         "--kind",
@@ -369,6 +397,16 @@ def _command_validate(args: argparse.Namespace) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import fuzz
+
+    report = fuzz(
+        seed=args.seed, budget_s=args.budget, max_cases=args.cases
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     breakdown = account(trace, NEXUS5)
@@ -393,6 +431,7 @@ _COMMANDS = {
     "paper": _command_paper,
     "inspect": _command_inspect,
     "validate": _command_validate,
+    "fuzz": _command_fuzz,
     "run": _command_run,
     "compare": _command_compare,
     "sweep": _command_sweep,

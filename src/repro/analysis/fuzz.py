@@ -1,0 +1,612 @@
+"""Differential fuzz harness for the alignment policies.
+
+Generates seeded random workloads — alarm populations crossed with mid-run
+churn scripts and external-wake injections — and runs each case under both
+NATIVE and SIMTY with the online invariant monitor armed
+(``on_violation="record"``).  Three independent detectors examine every
+case:
+
+* **invariants** — any :class:`~repro.core.invariants.Violation` the
+  monitor recorded (Sec. 3.2.2 delivery guarantees, queue structure);
+* **oracle** — on clairvoyance-eligible cases (static/one-shot alarms
+  only, no churn, no externals, no wakelock holds) a policy's distinct
+  wake instants must not undercut :func:`repro.core.oracle.minimum_wakeups`
+  — fewer wakeups than the provable lower bound means occurrences were
+  dropped or double-counted;
+* **differential** — on churn-free cases, each static repeating wakeup
+  alarm must be delivered the same number of times (±1 for the horizon
+  boundary) under both policies; a larger divergence means one policy
+  skipped or duplicated occurrences the other did not.
+
+Any failing case is automatically *shrunk* — alarms, churn operations and
+externals are greedily removed while the failure reproduces — and rendered
+as a ready-to-paste test case, so a fuzz hit lands in the repo as a
+regression test, not a stack of random bytes.
+
+Cases are plain frozen dataclasses built from a single integer seed:
+``generate_case(seed)`` is a pure function, so every failure is replayable
+from ``(seed,)`` alone and the CI smoke run (``simty fuzz --budget 60
+--seed 0``) is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.alarm import Alarm, RepeatKind
+from ..core.hardware import (
+    EMPTY_HARDWARE,
+    SPEAKER_VIBRATOR_ONLY,
+    WIFI_ONLY,
+    HardwareSet,
+)
+from ..core.invariants import Violation, ViolationSummary
+from ..core.native import NativePolicy
+from ..core.oracle import minimum_wakeups
+from ..core.simty import SimtyPolicy
+from ..simulator.engine import Simulator, SimulatorConfig
+from ..simulator.external import ExternalWake
+
+#: The policies every case is run under.
+POLICY_NAMES = ("native", "simty")
+
+_KINDS = {
+    "static": RepeatKind.STATIC,
+    "dynamic": RepeatKind.DYNAMIC,
+    "one_shot": RepeatKind.ONE_SHOT,
+}
+
+_HARDWARE: Dict[str, HardwareSet] = {
+    "none": EMPTY_HARDWARE,
+    "wifi": WIFI_ONLY,
+    "speaker": SPEAKER_VIBRATOR_ONLY,
+}
+
+
+# ---------------------------------------------------------------------------
+# Case specification (plain data: generatable, shrinkable, renderable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlarmSpec:
+    """One alarm of a fuzz case, as plain values.
+
+    ``interval == 0`` means one-shot; ``hardware`` is a key of the fuzz
+    hardware menu (``"none"``/``"wifi"`` imperceptible, ``"speaker"``
+    perceptible); ``hold_ms`` models a no-sleep bug holding the wakelock
+    past the (zero-length) task.
+    """
+
+    label: str
+    nominal: int
+    interval: int = 0
+    kind: str = "one_shot"
+    window: int = 0
+    grace: int = 0
+    wakeup: bool = True
+    hardware: str = "none"
+    hold_ms: Optional[int] = None
+
+    def build(self) -> Alarm:
+        return Alarm(
+            app=self.label,
+            label=self.label,
+            nominal_time=self.nominal,
+            repeat_interval=self.interval,
+            repeat_kind=_KINDS[self.kind],
+            window_length=self.window,
+            grace_length=self.grace,
+            wakeup=self.wakeup,
+            hardware=_HARDWARE[self.hardware],
+            hold_duration=self.hold_ms,
+        )
+
+
+@dataclass(frozen=True)
+class ChurnOp:
+    """One timed churn operation targeting an alarm by label."""
+
+    op: str  # "cancel" | "reregister"
+    time: int
+    target: str
+    nominal_offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ExternalSpec:
+    """One external wake (push message / button press)."""
+
+    time: int
+    hold_ms: int = 0
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A complete generated scenario: alarms × churn × externals."""
+
+    seed: int
+    horizon: int
+    alarms: Tuple[AlarmSpec, ...]
+    churn: Tuple[ChurnOp, ...] = ()
+    externals: Tuple[ExternalSpec, ...] = ()
+
+    def oracle_eligible(self) -> bool:
+        """True when the greedy stabbing bound is strict for this case."""
+        return (
+            not self.churn
+            and not self.externals
+            and all(
+                spec.kind in ("static", "one_shot") and spec.hold_ms is None
+                for spec in self.alarms
+            )
+        )
+
+    def differential_eligible(self) -> bool:
+        """True when NATIVE/SIMTY delivery counts are comparable."""
+        return not self.churn and not self.externals
+
+    def static_labels(self) -> List[str]:
+        return [
+            spec.label
+            for spec in self.alarms
+            if spec.kind == "static" and spec.wakeup
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+_INTERVALS_S = (30, 45, 60, 90, 120, 180, 300)
+_ALPHAS = (0.0, 0.25, 0.5, 0.75)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Build one deterministic random case from a seed.
+
+    Roughly 40% of cases are "pure" (static/one-shot alarms only, no churn,
+    no externals, no holds) so the strict oracle bound stays exercised; the
+    rest mix dynamic alarms, cancellation/re-registration churn, external
+    wakes and no-sleep holds.
+    """
+    rng = random.Random(seed)
+    horizon = rng.choice((10, 20, 30)) * 60_000
+    pure = rng.random() < 0.4
+    alarms: List[AlarmSpec] = []
+    for index in range(rng.randint(1, 5)):
+        label = f"a{index}"
+        roll = rng.random()
+        if pure:
+            kind = "static" if roll < 0.8 else "one_shot"
+        elif roll < 0.55:
+            kind = "static"
+        elif roll < 0.8:
+            kind = "dynamic"
+        else:
+            kind = "one_shot"
+        if kind == "one_shot":
+            nominal = rng.randrange(0, max(1, horizon * 3 // 4))
+            window = rng.choice((0, 15_000, 60_000))
+            alarms.append(
+                AlarmSpec(
+                    label=label,
+                    nominal=nominal,
+                    window=window,
+                    grace=window,
+                    wakeup=True if pure else rng.random() < 0.85,
+                )
+            )
+            continue
+        interval = rng.choice(_INTERVALS_S) * 1_000
+        alpha = rng.choice(_ALPHAS)
+        beta = min(0.9, alpha + rng.choice((0.0, 0.15, 0.4)))
+        window = int(alpha * interval)
+        grace = max(window, min(interval - 1, int(beta * interval)))
+        hardware = rng.choice(("none", "wifi", "wifi", "speaker"))
+        hold_ms = None
+        if not pure and rng.random() < 0.1:
+            hold_ms = rng.choice((2_000, 5_000))
+        alarms.append(
+            AlarmSpec(
+                label=label,
+                nominal=rng.randrange(0, interval),
+                interval=interval,
+                kind=kind,
+                window=window,
+                grace=grace,
+                wakeup=True if pure else rng.random() < 0.85,
+                hardware=hardware,
+                hold_ms=hold_ms,
+            )
+        )
+    churn: List[ChurnOp] = []
+    externals: List[ExternalSpec] = []
+    if not pure:
+        if rng.random() < 0.6:
+            for _ in range(rng.randint(1, 3)):
+                target = rng.choice(alarms).label
+                op = rng.choice(("cancel", "reregister", "reregister"))
+                offset = None
+                if op == "reregister" and rng.random() < 0.5:
+                    offset = rng.randrange(0, 120_000)
+                churn.append(
+                    ChurnOp(
+                        op=op,
+                        time=rng.randrange(horizon // 10, horizon),
+                        target=target,
+                        nominal_offset=offset,
+                    )
+                )
+        if rng.random() < 0.3:
+            for _ in range(rng.randint(1, 3)):
+                externals.append(
+                    ExternalSpec(
+                        time=rng.randrange(0, horizon),
+                        hold_ms=rng.choice((0, 500, 2_000)),
+                    )
+                )
+    return FuzzCase(
+        seed=seed,
+        horizon=horizon,
+        alarms=tuple(alarms),
+        churn=tuple(sorted(churn, key=lambda op: op.time)),
+        externals=tuple(sorted(externals, key=lambda e: e.time)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PolicyOutcome:
+    """What one policy did with one case."""
+
+    policy: str
+    violations: List[Violation] = field(default_factory=list)
+    wake_count: int = 0
+    delivered: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One detector firing on one case."""
+
+    kind: str  # "invariant" | "oracle" | "differential" | "crash"
+    detail: str
+
+
+@dataclass
+class CaseOutcome:
+    case: FuzzCase
+    outcomes: Dict[str, PolicyOutcome]
+    failures: List[Failure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _make_policy(name: str):
+    return NativePolicy() if name == "native" else SimtyPolicy()
+
+
+def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
+    outcome = PolicyOutcome(policy=policy_name)
+    config = SimulatorConfig(
+        horizon=case.horizon,
+        # Zero latency/tail makes one wake session per distinct delivery
+        # instant, so the session count is directly comparable to the
+        # oracle's stab count; it also removes all legitimate lateness,
+        # making the monitor's deadlines exact.
+        wake_latency_ms=0,
+        tail_ms=0,
+        monitor="record",
+        max_events=500_000,
+    )
+    externals = [
+        ExternalWake(time=spec.time, hold_ms=spec.hold_ms)
+        for spec in case.externals
+    ]
+    simulator = Simulator(_make_policy(policy_name), config, externals)
+    alarms_by_label: Dict[str, Alarm] = {}
+    try:
+        for spec in case.alarms:
+            alarm = spec.build()
+            alarms_by_label[spec.label] = alarm
+            simulator.add_alarm(alarm, 0)
+        for op in case.churn:
+            target = alarms_by_label[op.target]
+            if op.op == "cancel":
+                simulator.cancel_alarm(target, op.time)
+            elif op.op == "reregister":
+                simulator.reregister_alarm(
+                    target, op.time, nominal_offset=op.nominal_offset
+                )
+            else:
+                raise ValueError(f"unknown churn op {op.op!r}")
+        trace = simulator.run()
+    except Exception as error:  # noqa: BLE001 - a crash IS a finding
+        outcome.error = f"{type(error).__name__}: {error}"
+        return outcome
+    outcome.violations = list(trace.violations)
+    outcome.wake_count = trace.wake_count()
+    for record in trace.deliveries():
+        outcome.delivered[record.label] = (
+            outcome.delivered.get(record.label, 0) + 1
+        )
+    return outcome
+
+
+def run_case(case: FuzzCase) -> CaseOutcome:
+    """Run one case under every policy and apply all three detectors."""
+    outcomes = {name: _run_policy(case, name) for name in POLICY_NAMES}
+    failures: List[Failure] = []
+    for name, outcome in outcomes.items():
+        if outcome.error is not None:
+            failures.append(
+                Failure(kind="crash", detail=f"{name}: {outcome.error}")
+            )
+        for violation in outcome.violations:
+            failures.append(
+                Failure(
+                    kind="invariant",
+                    detail=f"{name}: {violation.format()}",
+                )
+            )
+    if case.oracle_eligible() and not any(
+        outcome.error for outcome in outcomes.values()
+    ):
+        bound = minimum_wakeups(
+            [spec.build() for spec in case.alarms],
+            case.horizon,
+            complete_tolerances_only=True,
+        ).wakeups
+        for name, outcome in outcomes.items():
+            if outcome.wake_count < bound:
+                failures.append(
+                    Failure(
+                        kind="oracle",
+                        detail=(
+                            f"{name}: {outcome.wake_count} wake sessions "
+                            f"undercut the oracle lower bound {bound}"
+                        ),
+                    )
+                )
+    if case.differential_eligible() and not any(
+        outcome.error for outcome in outcomes.values()
+    ):
+        native, simty = outcomes["native"], outcomes["simty"]
+        for label in case.static_labels():
+            gap = abs(
+                native.delivered.get(label, 0) - simty.delivered.get(label, 0)
+            )
+            if gap > 1:
+                failures.append(
+                    Failure(
+                        kind="differential",
+                        detail=(
+                            f"alarm {label}: NATIVE delivered "
+                            f"{native.delivered.get(label, 0)}, SIMTY "
+                            f"{simty.delivered.get(label, 0)} (|diff| > 1)"
+                        ),
+                    )
+                )
+    return CaseOutcome(case=case, outcomes=outcomes, failures=failures)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _failure_kinds(outcome: CaseOutcome) -> frozenset:
+    return frozenset(failure.kind for failure in outcome.failures)
+
+
+def shrink_case(
+    case: FuzzCase,
+    kinds: frozenset,
+    run: Callable[[FuzzCase], CaseOutcome] = run_case,
+) -> FuzzCase:
+    """Greedy delta-debugging: drop components while the failure persists.
+
+    Repeatedly tries removing one alarm (with its churn references), one
+    churn op, or one external; a removal is kept when the reduced case
+    still fails with at least one of the original failure ``kinds``.
+    Terminates at a local minimum — every single removal repairs the case.
+    """
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return bool(_failure_kinds(run(candidate)) & kinds)
+
+    shrunk = case
+    progress = True
+    while progress:
+        progress = False
+        for index in range(len(shrunk.alarms)):
+            spec = shrunk.alarms[index]
+            candidate = replace(
+                shrunk,
+                alarms=shrunk.alarms[:index] + shrunk.alarms[index + 1 :],
+                churn=tuple(
+                    op for op in shrunk.churn if op.target != spec.label
+                ),
+            )
+            if candidate.alarms and still_fails(candidate):
+                shrunk = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        for index in range(len(shrunk.churn)):
+            candidate = replace(
+                shrunk,
+                churn=shrunk.churn[:index] + shrunk.churn[index + 1 :],
+            )
+            if still_fails(candidate):
+                shrunk = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        for index in range(len(shrunk.externals)):
+            candidate = replace(
+                shrunk,
+                externals=shrunk.externals[:index]
+                + shrunk.externals[index + 1 :],
+            )
+            if still_fails(candidate):
+                shrunk = candidate
+                progress = True
+                break
+    return shrunk
+
+
+def render_case(case: FuzzCase) -> str:
+    """Render a case as a ready-to-paste pytest regression test."""
+    lines = [
+        f"def test_fuzz_regression_seed_{case.seed}():",
+        '    """Shrunk reproducer found by `simty fuzz` — keep as regression."""',
+        "    from repro.analysis.fuzz import (",
+        "        AlarmSpec, ChurnOp, ExternalSpec, FuzzCase, run_case,",
+        "    )",
+        "",
+        "    case = FuzzCase(",
+        f"        seed={case.seed},",
+        f"        horizon={case.horizon},",
+        "        alarms=(",
+    ]
+    for spec in case.alarms:
+        lines.append(f"            {spec!r},")
+    lines.append("        ),")
+    if case.churn:
+        lines.append("        churn=(")
+        for op in case.churn:
+            lines.append(f"            {op!r},")
+        lines.append("        ),")
+    if case.externals:
+        lines.append("        externals=(")
+        for spec in case.externals:
+            lines.append(f"            {spec!r},")
+        lines.append("        ),")
+    lines.extend(
+        [
+            "    )",
+            "    outcome = run_case(case)",
+            "    assert outcome.ok, [f.detail for f in outcome.failures]",
+        ]
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The campaign driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    """A failing case, its shrunk form, and the rendered reproducer."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    failures: List[Failure]
+    reproducer: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    cases_run: int
+    elapsed_s: float
+    failures: List[FuzzFailure] = field(default_factory=list)
+    violation_total: int = 0
+    oracle_divergences: int = 0
+    differential_divergences: int = 0
+    crashes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {self.cases_run} cases in {self.elapsed_s:.1f}s "
+            f"(seed {self.seed}, policies {'/'.join(POLICY_NAMES)})",
+            f"  invariant violations:     {self.violation_total}",
+            f"  oracle divergences:       {self.oracle_divergences}",
+            f"  differential divergences: {self.differential_divergences}",
+            f"  crashes:                  {self.crashes}",
+        ]
+        if self.ok:
+            lines.append("  all cases clean")
+        else:
+            lines.append(f"  FAILING CASES: {len(self.failures)}")
+            for failure in self.failures:
+                lines.append("")
+                for item in failure.failures:
+                    lines.append(f"  - [{item.kind}] {item.detail}")
+                lines.append("  shrunk reproducer:")
+                for row in failure.reproducer.splitlines():
+                    lines.append(f"    {row}")
+        return "\n".join(lines)
+
+
+def fuzz(
+    seed: int = 0,
+    budget_s: float = 60.0,
+    max_cases: int = 1_000,
+    clock: Callable[[], float] = time.monotonic,
+) -> FuzzReport:
+    """Run a fuzz campaign until the time budget or case budget is spent.
+
+    Case ``i`` is generated from ``seed + i``, so any failure is replayable
+    in isolation; failing cases are shrunk and rendered immediately.
+    """
+    started = clock()
+    report = FuzzReport(seed=seed, cases_run=0, elapsed_s=0.0)
+    for index in range(max_cases):
+        if clock() - started >= budget_s:
+            break
+        case = generate_case(seed + index)
+        outcome = run_case(case)
+        report.cases_run += 1
+        for failure in outcome.failures:
+            if failure.kind == "invariant":
+                report.violation_total += 1
+            elif failure.kind == "oracle":
+                report.oracle_divergences += 1
+            elif failure.kind == "differential":
+                report.differential_divergences += 1
+            else:
+                report.crashes += 1
+        if not outcome.ok:
+            shrunk = shrink_case(case, _failure_kinds(outcome))
+            report.failures.append(
+                FuzzFailure(
+                    case=case,
+                    shrunk=shrunk,
+                    failures=outcome.failures,
+                    reproducer=render_case(shrunk),
+                )
+            )
+    report.elapsed_s = clock() - started
+    return report
+
+
+def violation_summary(report: FuzzReport) -> ViolationSummary:
+    """Aggregate invariant-violation counts across a report's failures."""
+    violations: List[Violation] = []
+    for failure in report.failures:
+        for name, outcome in run_case(failure.case).outcomes.items():
+            violations.extend(outcome.violations)
+    return ViolationSummary.of(violations)

@@ -23,6 +23,14 @@ from .hardware import (
     HardwareSet,
 )
 from .intervals import Interval, intersect_all, overlap_length
+from .invariants import (
+    Violation,
+    ViolationSummary,
+    check_delivery,
+    check_delivery_gap,
+    check_exactly_once,
+    check_queue,
+)
 from .native import NativePolicy
 from .oracle import OracleResult, minimum_wakeups, optimality_gap
 from .policy import AlignmentPolicy
@@ -72,6 +80,12 @@ __all__ = [
     "Interval",
     "intersect_all",
     "overlap_length",
+    "Violation",
+    "ViolationSummary",
+    "check_delivery",
+    "check_delivery_gap",
+    "check_exactly_once",
+    "check_queue",
     "NativePolicy",
     "FixedIntervalPolicy",
     "OracleResult",

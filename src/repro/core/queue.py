@@ -60,6 +60,20 @@ class AlarmQueue:
         queued.  Entries emptied by the removal are dropped; entries that
         shrink have their intervals rebuilt and the queue is re-sorted.
         """
+        removed, _ = self.remove_alarm_with_entry(alarm)
+        return removed
+
+    def remove_alarm_with_entry(
+        self, alarm: Alarm
+    ) -> Tuple[Optional[Alarm], Optional[QueueEntry]]:
+        """Like :meth:`remove_alarm`, but also report the shrunken entry.
+
+        Returns ``(removed, survivor_entry)``: ``survivor_entry`` is the
+        entry that still holds the removed alarm's former batch-mates, or
+        ``None`` when the entry emptied (or the alarm was not queued).
+        Callers that re-anchor survivors after a mid-flight cancellation
+        need the entry to pull its members back out.
+        """
         for entry in self._entries:
             found = entry.contains_alarm_id(alarm.alarm_id)
             if found is None:
@@ -67,9 +81,11 @@ class AlarmQueue:
             entry.remove(found)
             if entry.is_empty():
                 self._entries.remove(entry)
+                self.resort()
+                return found, None
             self.resort()
-            return found
-        return None
+            return found, entry
+        return None, None
 
     def drain(self) -> List[Alarm]:
         """Remove every entry and return all queued alarms (for rebatching)."""

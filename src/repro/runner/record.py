@@ -83,6 +83,13 @@ class RunRecord:
     def ok(self) -> bool:
         return self.status.is_ok
 
+    @property
+    def violation_count(self) -> int:
+        """Invariant violations recorded by an armed monitor (0 otherwise)."""
+        if self.result is None:
+            return 0
+        return len(self.result.trace.violations)
+
     def workload_name(self) -> str:
         if self.result is not None:
             return self.result.workload_name
@@ -113,8 +120,17 @@ def summary_table(records: Sequence[RunRecord]) -> str:
     headers = (
         "workload", "policy", "digest", "status", "wall [s]", "cache", "wakeups", "total [J]",
     )
-    rows = [
-        (
+    # Only show the invariant column when at least one run was monitored —
+    # unmonitored batches keep the familiar table shape.
+    show_violations = any(
+        record.result is not None and record.result.trace.violations
+        for record in records
+    )
+    if show_violations:
+        headers = headers + ("violations",)
+    rows = []
+    for record in records:
+        row = (
             record.workload_name(),
             record.policy_name(),
             record.digest[:12],
@@ -124,8 +140,9 @@ def summary_table(records: Sequence[RunRecord]) -> str:
             str(record.result.wakeups.cpu.delivered) if record.result else "-",
             f"{record.result.energy.total_mj / 1000.0:.1f}" if record.result else "-",
         )
-        for record in records
-    ]
+        if show_violations:
+            row = row + (str(record.violation_count) if record.result else "-",)
+        rows.append(row)
     return _render_table(headers, rows)
 
 

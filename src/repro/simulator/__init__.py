@@ -22,6 +22,7 @@ from .engine import (
 )
 from .events import Event, EventKind, event_log
 from .external import ExternalWake, poisson_wakes, schedule
+from .monitor import ON_VIOLATION_MODES, InvariantMonitor, InvariantViolationError
 from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
 from .serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
 from .tasks import TaskExecution, component_hold_times, schedule_batch_tasks
@@ -55,6 +56,9 @@ __all__ = [
     "ExternalWake",
     "poisson_wakes",
     "schedule",
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "ON_VIOLATION_MODES",
     "RealTimeClock",
     "DEFAULT_WAKE_LATENCY_MS",
     "load_trace",

@@ -36,9 +36,29 @@ class AlarmManager:
         """Insert a newly registered (or re-registered) alarm."""
         return self.policy.insert(self.queue_for(alarm), alarm, now)
 
-    def cancel(self, alarm: Alarm) -> bool:
-        """Remove an alarm from its queue; True when it was queued."""
-        return self.queue_for(alarm).remove_alarm(alarm) is not None
+    def cancel(self, alarm: Alarm, now: int = 0) -> bool:
+        """Remove an alarm from its queue; True when it was queued.
+
+        When the cancelled alarm shared an entry with other aligned alarms,
+        the survivors are pulled out and re-aligned through the policy.
+        Their old entry's attributes (window/grace intersection, delivery
+        time) were computed *with* the cancelled alarm's intervals in the
+        mix; keeping the shrunken entry as-is could pin survivors to an
+        anchor that no longer exists.  Android does the same: a
+        ``removeLocked`` triggers ``rebatchAllAlarmsLocked``.
+        """
+        queue = self.queue_for(alarm)
+        removed, survivor_entry = queue.remove_alarm_with_entry(alarm)
+        if removed is None:
+            return False
+        if survivor_entry is not None:
+            queue.remove_entry(survivor_entry)
+            survivors = sorted(
+                survivor_entry, key=lambda a: (a.nominal_time, a.alarm_id)
+            )
+            for follower in survivors:
+                self.policy.insert(queue, follower, now)
+        return True
 
     # ------------------------------------------------------------------
     # Engine-facing operations

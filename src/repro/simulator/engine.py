@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
-from ..core.alarm import Alarm
+from ..core.alarm import Alarm, RepeatKind
 from ..core.entry import QueueEntry
 from ..core.policy import AlignmentPolicy
 from ..core.units import THREE_HOURS_MS
@@ -21,6 +21,7 @@ from .alarm_manager import AlarmManager
 from .clock import VirtualClock
 from .device import DEFAULT_TAIL_MS, Device, WakeReason
 from .external import ExternalWake
+from .monitor import ON_VIOLATION_MODES, InvariantMonitor
 from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
 from .tasks import component_hold_times, schedule_batch_tasks
 from .trace import BatchRecord, RegistrationRecord, SimulationTrace, snapshot_delivery
@@ -44,6 +45,13 @@ class SimulatorConfig:
     iterations at one instant (a non-advancing clock).  Exceeding either
     raises :class:`SimulationStalled` instead of hanging the process, so a
     supervisor can quarantine the run as FAILED.
+
+    ``monitor`` arms the online invariant monitor
+    (:class:`~repro.simulator.monitor.InvariantMonitor`) for the run:
+    ``None`` (default) runs unmonitored, otherwise one of ``"raise"``,
+    ``"record"`` or ``"warn"``.  Being a plain string, the mode is
+    digestible, so spec-driven runs (``RunSpec``/``run_many``) can arm it
+    through the cache without holding a live object.
     """
 
     horizon: int = THREE_HOURS_MS
@@ -51,6 +59,7 @@ class SimulatorConfig:
     tail_ms: int = DEFAULT_TAIL_MS
     max_events: Optional[int] = None
     max_stalled_events: int = DEFAULT_MAX_STALLED_EVENTS
+    monitor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -59,6 +68,10 @@ class SimulatorConfig:
             raise ValueError("max_events must be positive (or None)")
         if self.max_stalled_events <= 0:
             raise ValueError("max_stalled_events must be positive")
+        if self.monitor is not None and self.monitor not in ON_VIOLATION_MODES:
+            raise ValueError(
+                f"monitor must be None or one of {ON_VIOLATION_MODES}"
+            )
 
 
 class SimulationStalled(RuntimeError):
@@ -86,6 +99,16 @@ class _PendingRegistration:
     alarm: Alarm = field(compare=False)
 
 
+@dataclass(order=True)
+class _PendingReRegistration:
+    """A scheduled cancel-and-re-register (app update / re-install churn)."""
+
+    time: int
+    sequence: int
+    alarm: Alarm = field(compare=False)
+    nominal_offset: Optional[int] = field(compare=False, default=None)
+
+
 class Simulator:
     """One simulation run: a policy, a device, and a set of alarms."""
 
@@ -94,6 +117,7 @@ class Simulator:
         policy: AlignmentPolicy,
         config: Optional[SimulatorConfig] = None,
         external_events: Iterable[ExternalWake] = (),
+        monitor: Optional[InvariantMonitor] = None,
     ) -> None:
         self.config = config or SimulatorConfig()
         self.policy = policy
@@ -104,10 +128,17 @@ class Simulator:
         self.trace = SimulationTrace(
             policy_name=policy.name, horizon=self.config.horizon
         )
+        if monitor is None and self.config.monitor is not None:
+            monitor = InvariantMonitor(on_violation=self.config.monitor)
+        self.monitor = monitor
+        if self.monitor is not None:
+            self.monitor.bind(self.manager, self.config.wake_latency_ms)
         self._registrations: List[_PendingRegistration] = []
         self._registration_seq = 0
         self._cancellations: List[_PendingRegistration] = []
         self._cancellation_index = 0
+        self._reregistrations: List[_PendingReRegistration] = []
+        self._reregistration_index = 0
         self._externals: List[ExternalWake] = sorted(
             external_events, key=lambda event: event.time
         )
@@ -175,6 +206,41 @@ class Simulator:
         )
         self._registration_seq += 1
 
+    def reregister_alarm(
+        self, alarm: Alarm, at: int, nominal_offset: Optional[int] = None
+    ) -> None:
+        """Schedule a cancel-and-re-register of ``alarm`` at time ``at``.
+
+        Models app-update churn: the app cancels its pending alarm and
+        immediately sets it again.  ``nominal_offset`` places the new
+        nominal time at ``at + nominal_offset``; when omitted, a repeating
+        alarm whose nominal already passed is advanced to its next future
+        occurrence (static alarms stay on their grid, dynamic alarms
+        re-appoint from ``at``) so a re-registration never triggers a
+        catch-up burst of stale occurrences.
+        """
+        if at < 0:
+            raise ValueError("re-registration time must be non-negative")
+        if at >= self.config.horizon:
+            raise ValueError(
+                f"re-registration time {at} is at or beyond the horizon "
+                f"({self.config.horizon}); it would silently never take effect"
+            )
+        if nominal_offset is not None and nominal_offset < 0:
+            raise ValueError("nominal offset must be non-negative")
+        if alarm.claimed_by is not None and alarm.claimed_by is not self:
+            raise ValueError(
+                f"alarm {alarm.label!r} was already consumed by a previous "
+                "Simulator run; build a fresh workload for every run"
+            )
+        alarm.claimed_by = self
+        self._reregistrations.append(
+            _PendingReRegistration(
+                at, self._registration_seq, alarm, nominal_offset
+            )
+        )
+        self._registration_seq += 1
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -186,6 +252,7 @@ class Simulator:
         self._registrations.sort()
         self._registration_index = 0
         self._cancellations.sort()
+        self._reregistrations.sort()
         horizon = self.config.horizon
         self._events = 0
         self._stalled = 0
@@ -204,16 +271,22 @@ class Simulator:
             self.clock.advance_to(instant)
             self._process_registrations()
             self._process_cancellations()
+            self._process_reregistrations()
             self._process_externals()
             self._deliver_due_wakeups()
             if self.device.awake:
                 self._deliver_due_nonwakeups()
                 self.device.try_sleep(self.clock.now)
+            if self.monitor is not None:
+                self.monitor.on_step_end(self.clock.now)
         # A wake triggered just before the horizon can resume after it; the
         # session closes at the real clock time and energy accounting clips
         # at the horizon.
         self.device.force_sleep(max(horizon, self.clock.now))
         self.trace.sessions = self.device.sessions
+        if self.monitor is not None:
+            self.monitor.on_run_end(horizon)
+            self.trace.violations = self.monitor.violations
         return self.trace
 
     def _watchdog_tick(self, instant: int) -> None:
@@ -257,6 +330,10 @@ class Simulator:
             candidates.append(
                 max(now, self._cancellations[self._cancellation_index].time)
             )
+        if self._reregistration_index < len(self._reregistrations):
+            candidates.append(
+                max(now, self._reregistrations[self._reregistration_index].time)
+            )
         if self._external_index < len(self._externals):
             candidates.append(
                 max(now, self._externals[self._external_index].time)
@@ -285,15 +362,20 @@ class Simulator:
             pending = self._registrations[self._registration_index]
             self._registration_index += 1
             self.manager.register(pending.alarm, now)
-            self.trace.registrations.append(
-                RegistrationRecord(
-                    time=now,
-                    alarm_id=pending.alarm.alarm_id,
-                    app=pending.alarm.app,
-                    label=pending.alarm.label,
-                    wakeup=pending.alarm.wakeup,
-                )
+            self._record_registration(pending.alarm, now)
+
+    def _record_registration(self, alarm: Alarm, now: int) -> None:
+        self.trace.registrations.append(
+            RegistrationRecord(
+                time=now,
+                alarm_id=alarm.alarm_id,
+                app=alarm.app,
+                label=alarm.label,
+                wakeup=alarm.wakeup,
             )
+        )
+        if self.monitor is not None:
+            self.monitor.on_register(alarm, now)
 
     def _process_cancellations(self) -> None:
         now = self.clock.now
@@ -303,7 +385,36 @@ class Simulator:
         ):
             pending = self._cancellations[self._cancellation_index]
             self._cancellation_index += 1
-            self.manager.cancel(pending.alarm)
+            removed = self.manager.cancel(pending.alarm, now)
+            if self.monitor is not None:
+                self.monitor.on_cancel(pending.alarm, now, removed)
+
+    def _process_reregistrations(self) -> None:
+        now = self.clock.now
+        while (
+            self._reregistration_index < len(self._reregistrations)
+            and self._reregistrations[self._reregistration_index].time <= now
+        ):
+            pending = self._reregistrations[self._reregistration_index]
+            self._reregistration_index += 1
+            alarm = pending.alarm
+            removed = self.manager.cancel(alarm, now)
+            if self.monitor is not None:
+                self.monitor.on_cancel(alarm, now, removed)
+            if pending.nominal_offset is not None:
+                alarm.nominal_time = now + pending.nominal_offset
+            elif alarm.is_repeating and alarm.nominal_time <= now:
+                # Advance past every stale occurrence so the re-register
+                # never unleashes a catch-up burst: static alarms snap to
+                # the next grid point, dynamic alarms re-appoint from now.
+                interval = alarm.repeat_interval
+                if alarm.repeat_kind is RepeatKind.STATIC:
+                    behind = now - alarm.nominal_time
+                    alarm.nominal_time += (behind // interval + 1) * interval
+                else:
+                    alarm.nominal_time = now + interval
+            self.manager.register(alarm, now)
+            self._record_registration(alarm, now)
 
     def _process_externals(self) -> None:
         now = self.clock.now
@@ -382,11 +493,16 @@ class Simulator:
             )
         )
         self._batch_index += 1
+        if self.monitor is not None:
+            for record in records:
+                self.monitor.on_delivery(record, now)
         # Reinsert after the batch record is sealed so a rebatch (NATIVE
         # realignment) never mutates a delivered entry's snapshot.
         for alarm, repeating in repeats:
             if repeating:
                 self.manager.reinsert(alarm, now)
+                if self.monitor is not None:
+                    self.monitor.on_reinsert(alarm, now)
 
 
 def simulate(

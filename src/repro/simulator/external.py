@@ -53,6 +53,12 @@ def poisson_wakes(
     """
     if rate_per_hour < 0:
         raise ValueError("rate must be non-negative")
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    if hold_ms < 0:
+        # Validate up front: a negative hold must fail even when the seeded
+        # draw happens to produce no events (or the rate is zero).
+        raise ValueError("hold time must be non-negative")
     rng = random.Random(seed)
     events: List[ExternalWake] = []
     if rate_per_hour == 0:
@@ -63,7 +69,14 @@ def poisson_wakes(
         cursor += rng.expovariate(1.0 / mean_gap_ms)
         if cursor >= horizon:
             break
+        time = int(cursor)
         events.append(
-            ExternalWake(time=int(cursor), hold_ms=hold_ms, description="push")
+            ExternalWake(
+                time=time,
+                # Clamp so a late push never holds the device awake past
+                # the observation horizon it was generated for.
+                hold_ms=min(hold_ms, horizon - time),
+                description="push",
+            )
         )
     return events

@@ -13,6 +13,7 @@ from typing import Dict, List, Union
 
 from ..core.alarm import RepeatKind
 from ..core.hardware import Component, HardwareSet
+from ..core.invariants import Violation
 from .device import WakeReason, WakeSession
 from .tasks import TaskExecution
 from .trace import (
@@ -106,6 +107,16 @@ def trace_to_dict(trace: SimulationTrace) -> Dict:
             }
             for component, usage in trace.wakelocks.usage.items()
         },
+        "violations": [
+            {
+                "kind": v.kind,
+                "time": v.time,
+                "detail": v.detail,
+                "alarm_id": v.alarm_id,
+                "label": v.label,
+            }
+            for v in trace.violations
+        ],
     }
 
 
@@ -175,6 +186,10 @@ def trace_from_dict(payload: Dict) -> SimulationTrace:
             activations=usage["activations"], hold_ms=usage["hold_ms"]
         )
     trace.wakelocks = ledger
+    # Traces saved before the monitor existed have no violations key.
+    trace.violations = [
+        Violation(**entry) for entry in payload.get("violations", [])
+    ]
     return trace
 
 

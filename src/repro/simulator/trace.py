@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..core.alarm import Alarm, RepeatKind
 from ..core.hardware import Component, HardwareSet
+from ..core.invariants import Violation
 from .device import WakeSession
 from .tasks import TaskExecution
 from .wakelock import WakelockLedger
@@ -133,6 +134,9 @@ class SimulationTrace:
     batches: List[BatchRecord] = field(default_factory=list)
     sessions: List[WakeSession] = field(default_factory=list)
     wakelocks: WakelockLedger = field(default_factory=WakelockLedger)
+    #: Invariant breaches observed by an armed online monitor (empty when
+    #: the run was unmonitored or clean).
+    violations: List[Violation] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Convenience accessors

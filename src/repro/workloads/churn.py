@@ -1,0 +1,142 @@
+"""Mid-run alarm churn: timed register / cancel / re-register directives.
+
+Real connected-standby traffic is not a static registration set: apps are
+installed mid-run, updated (cancel + immediate re-register), and sometimes
+cancel their alarms outright — and that churn is exactly where alignment
+policies break, because a cancelled alarm may anchor the queue entry other
+alarms were aligned to.  This module scripts such behaviour as plain timed
+directives that :meth:`Workload.apply` hands to the engine:
+
+* :class:`RegisterAt` — an app appears mid-run with a fresh alarm;
+* :class:`CancelAt` — an app cancels a previously registered alarm
+  (referenced by label, resolved at apply time);
+* :class:`ReRegisterAt` — an app update: cancel and immediately set the
+  alarm again, optionally moving its nominal time.
+
+Directives are plain frozen data, so fuzz specs can generate, serialize and
+shrink them.  :func:`cancellation_storm` and :func:`app_update_wave` build
+the two patterns the robustness suite exercises most.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.alarm import Alarm
+from ..simulator.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RegisterAt:
+    """Register a fresh alarm at simulation time ``time`` (app install)."""
+
+    time: int
+    alarm: Alarm
+
+
+@dataclass(frozen=True)
+class CancelAt:
+    """Cancel the registered alarm with label ``label`` at ``time``.
+
+    Cancelling an alarm that is not queued at that moment (already
+    delivered one-shot, never registered) is a no-op, as in Android.
+    """
+
+    time: int
+    label: str
+
+
+@dataclass(frozen=True)
+class ReRegisterAt:
+    """Cancel-and-re-register the alarm with label ``label`` at ``time``.
+
+    Models an app update or settings change.  ``nominal_offset`` places the
+    new nominal time at ``time + nominal_offset``; when omitted, a stale
+    repeating alarm is advanced to its next future occurrence so the
+    re-registration never triggers a catch-up burst.
+    """
+
+    time: int
+    label: str
+    nominal_offset: Optional[int] = None
+
+
+Directive = Union[RegisterAt, CancelAt, ReRegisterAt]
+
+
+def apply_directives(
+    simulator: Simulator,
+    directives: Iterable[Directive],
+    alarms_by_label: Dict[str, Alarm],
+) -> None:
+    """Schedule ``directives`` on a simulator before it runs.
+
+    ``alarms_by_label`` resolves :class:`CancelAt`/:class:`ReRegisterAt`
+    targets; alarms introduced by :class:`RegisterAt` join the map, so a
+    later directive can cancel a mid-run install.  An unknown label raises
+    ``KeyError`` — a directive that can never act is a scripting bug, not a
+    legal no-op.
+    """
+    for directive in directives:
+        if isinstance(directive, RegisterAt):
+            simulator.add_alarm(directive.alarm, directive.time)
+            alarms_by_label[directive.alarm.label] = directive.alarm
+        elif isinstance(directive, CancelAt):
+            simulator.cancel_alarm(alarms_by_label[directive.label], directive.time)
+        elif isinstance(directive, ReRegisterAt):
+            simulator.reregister_alarm(
+                alarms_by_label[directive.label],
+                directive.time,
+                nominal_offset=directive.nominal_offset,
+            )
+        else:
+            raise TypeError(f"unknown churn directive: {directive!r}")
+
+
+def cancellation_storm(
+    labels: Sequence[str],
+    at: int,
+    *,
+    spread_ms: int = 0,
+    seed: int = 0,
+) -> List[Directive]:
+    """A burst of cancellations around time ``at``.
+
+    With ``spread_ms`` > 0 each cancellation lands at a seeded uniform
+    offset in ``[at, at + spread_ms)`` — a storm, not a single instant —
+    which exercises repeated re-anchoring of the surviving batches.
+    """
+    if spread_ms < 0:
+        raise ValueError("spread_ms must be non-negative")
+    rng = random.Random(seed)
+    directives: List[Directive] = []
+    for label in labels:
+        offset = rng.randrange(spread_ms) if spread_ms else 0
+        directives.append(CancelAt(time=at + offset, label=label))
+    return sorted(directives, key=lambda d: (d.time, d.label))
+
+
+def app_update_wave(
+    labels: Sequence[str],
+    at: int,
+    *,
+    spacing_ms: int = 0,
+    nominal_offset: Optional[int] = None,
+) -> List[Directive]:
+    """Sequential app updates: each label re-registered ``spacing_ms`` apart.
+
+    Mirrors a store pushing updates one app at a time; every update cancels
+    the app's pending alarm and sets it again, possibly on a new phase.
+    """
+    if spacing_ms < 0:
+        raise ValueError("spacing_ms must be non-negative")
+    return [
+        ReRegisterAt(
+            time=at + index * spacing_ms,
+            label=label,
+            nominal_offset=nominal_offset,
+        )
+        for index, label in enumerate(labels)
+    ]

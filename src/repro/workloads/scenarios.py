@@ -17,13 +17,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.alarm import Alarm, RepeatKind
 from ..core.hardware import EMPTY_HARDWARE
 from ..core.units import THREE_HOURS_MS, seconds
 from ..simulator.engine import Simulator
 from .apps import PAPER_BETA, AppSpec, heavy_apps, light_apps
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .churn import Directive
 
 
 @dataclass(frozen=True)
@@ -36,19 +39,31 @@ class Registration:
 
 @dataclass
 class Workload:
-    """A named set of registrations for one run.
+    """A named set of registrations (plus optional churn) for one run.
 
     Alarms are mutable and single-use: build a fresh workload (same builder,
     same config) for every run rather than re-applying one instance.
+    ``directives`` scripts mid-run churn (see :mod:`repro.workloads.churn`);
+    cancel/re-register targets are resolved by label against the
+    registrations and any mid-run installs preceding them.
     """
 
     name: str
     registrations: List[Registration]
     horizon: int
+    directives: List["Directive"] = field(default_factory=list)
 
     def apply(self, simulator: Simulator) -> None:
         for registration in self.registrations:
             simulator.add_alarm(registration.alarm, registration.time)
+        if self.directives:
+            from .churn import apply_directives
+
+            alarms_by_label = {
+                registration.alarm.label: registration.alarm
+                for registration in self.registrations
+            }
+            apply_directives(simulator, self.directives, alarms_by_label)
 
     def alarms(self) -> List[Alarm]:
         return [registration.alarm for registration in self.registrations]

@@ -161,6 +161,22 @@ class TestSummaryTable:
     def test_empty_table_renders(self):
         assert "workload" in summary_table([])
 
+    def test_violations_column_appears_only_when_monitored(self):
+        from repro.core.invariants import Violation
+        from repro.runner import run_spec
+
+        record = run_spec(
+            RunSpec(workload="light", policy="simty", scenario=SHORT)
+        )
+        assert "violations" not in summary_table([record])
+        assert record.violation_count == 0
+        record.result.trace.violations.append(
+            Violation(kind="double-delivery", time=1, detail="injected")
+        )
+        table = summary_table([record])
+        assert "violations" in table
+        assert record.violation_count == 1
+
 
 class TestExecuteSpec:
     def test_policy_label_becomes_policy_name(self):

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.alarm import RepeatKind
 from repro.core.hardware import WIFI_ONLY
+from repro.core.native import NativePolicy
 from repro.core.simty import SimtyPolicy
 from repro.simulator.android_api import AndroidAlarmManagerFacade
 from repro.simulator.engine import Simulator, SimulatorConfig
@@ -91,6 +92,37 @@ class TestLifecycle:
         facade = AndroidAlarmManagerFacade()
         facade.cancel("ghost")
         assert facade.pending_tags() == []
+
+    @pytest.mark.parametrize("policy", [NativePolicy, SimtyPolicy])
+    def test_cancel_mid_run_spares_aligned_followers(self, policy):
+        # Three same-interval pollers align into shared batches; the alarm
+        # cancelled mid-run anchors the entry the others joined.  Survivors
+        # must be re-anchored (keep delivering once per interval) and the
+        # armed monitor must stay quiet.
+        facade = AndroidAlarmManagerFacade()
+        for offset, tag in ((60_000, "anchor"), (70_000, "f1"), (80_000, "f2")):
+            facade.set_repeating(
+                trigger_at_ms=offset, interval_ms=120_000, tag=tag,
+                hardware=WIFI_ONLY, task_duration=500,
+            )
+        facade.cancel("anchor")
+        simulator = Simulator(
+            policy(),
+            config=SimulatorConfig(
+                horizon=600_000, wake_latency_ms=0, tail_ms=0, monitor="record"
+            ),
+        )
+        facade.apply(simulator, cancel_at_ms=150_000)
+        trace = simulator.run()
+        assert trace.violations == []
+        by_tag = {}
+        for record in trace.deliveries():
+            by_tag.setdefault(record.label, []).append(record.delivered_at)
+        assert all(t <= 150_000 for t in by_tag.get("anchor", []))
+        for tag in ("f1", "f2"):
+            times = by_tag[tag]
+            assert max(times) > 150_000
+            assert 4 <= len(times) <= 6  # once per 120 s over 600 s
 
     def test_end_to_end_simulation(self):
         facade = AndroidAlarmManagerFacade()

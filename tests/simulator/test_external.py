@@ -52,3 +52,30 @@ class TestPoissonWakes:
         events = poisson_wakes(20.0, horizon=3_600_000, seed=9)
         times = [event.time for event in events]
         assert times == sorted(times)
+
+    def test_full_events_deterministic_per_seed(self):
+        first = poisson_wakes(15.0, horizon=3_600_000, hold_ms=1_500, seed=11)
+        second = poisson_wakes(15.0, horizon=3_600_000, hold_ms=1_500, seed=11)
+        assert [(e.time, e.hold_ms) for e in first] == [
+            (e.time, e.hold_ms) for e in second
+        ]
+
+    def test_holds_never_extend_past_horizon(self):
+        # An event near the horizon gets its hold clamped so no wakelock
+        # outlives the run.
+        events = poisson_wakes(120.0, horizon=600_000, hold_ms=30_000, seed=3)
+        assert events  # the rate guarantees events at this horizon
+        assert all(e.time + e.hold_ms <= 600_000 for e in events)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_wakes(10.0, horizon=1_000, hold_ms=-1)
+
+    def test_negative_hold_rejected_even_without_events(self):
+        # Validation must not depend on the draw producing any events.
+        with pytest.raises(ValueError):
+            poisson_wakes(0.0, horizon=1_000, hold_ms=-1)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_wakes(10.0, horizon=-1)

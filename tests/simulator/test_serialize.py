@@ -80,3 +80,22 @@ class TestRoundTrip:
 
         payload = trace_to_dict(sample_trace())
         json.dumps(payload)  # must not raise
+
+    def test_violations_round_trip(self):
+        from repro.core.invariants import Violation
+
+        trace = sample_trace()
+        trace.violations = [
+            Violation(
+                kind="double-delivery", time=123, detail="twice",
+                alarm_id=7, label="mail",
+            ),
+            Violation(kind="empty-entry", time=456, detail="hollow"),
+        ]
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.violations == trace.violations
+
+    def test_legacy_payload_without_violations_loads(self):
+        payload = trace_to_dict(sample_trace())
+        payload.pop("violations", None)  # pre-monitor trace files
+        assert trace_from_dict(payload).violations == []
