@@ -18,7 +18,10 @@ The library layers as follows (each importable on its own):
   the policy/workload registry, the parallel executor (:func:`run_many`)
   and the content-addressed result cache;
 * :mod:`repro.analysis` — experiment matrix, figures/tables and the
-  ``simty`` CLI.
+  ``simty`` CLI;
+* :mod:`repro.obs` — runtime observability: the :class:`Telemetry` hub
+  (spans, counters, gauges, histograms), plain-data summaries, and JSONL /
+  Chrome-trace / Prometheus exporters (see docs/observability.md).
 
 Quickstart::
 
@@ -51,6 +54,14 @@ from .core import (
     SimtyPolicy,
     Violation,
     ViolationSummary,
+)
+from .obs import (
+    NULL_TELEMETRY,
+    FakeClock,
+    Telemetry,
+    TelemetrySummary,
+    merge_summaries,
+    render_telemetry,
 )
 from .power import NEXUS5, PowerModel, account
 from .runner import (
@@ -98,6 +109,12 @@ __all__ = [
     "ViolationSummary",
     "InvariantMonitor",
     "InvariantViolationError",
+    "NULL_TELEMETRY",
+    "FakeClock",
+    "Telemetry",
+    "TelemetrySummary",
+    "merge_summaries",
+    "render_telemetry",
     "NEXUS5",
     "PowerModel",
     "account",

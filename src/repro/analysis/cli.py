@@ -18,10 +18,24 @@ from typing import List, Optional
 
 from ..metrics.delay import delay_report
 from ..metrics.wakeups import wakeup_breakdown
+from ..obs import (
+    Telemetry,
+    prometheus_text,
+    render_telemetry,
+    write_chrome_trace,
+    write_jsonl,
+)
 from ..power.accounting import account
 from ..power.attribution import attribution_table
 from ..power.profiles import NEXUS5
-from ..runner import ResultCache, RunJournal, failure_table, summary_table
+from ..runner import (
+    ResultCache,
+    RunJournal,
+    RunSpec,
+    failure_table,
+    run_spec,
+    summary_table,
+)
 from ..simulator.events import event_log
 from ..simulator.serialize import load_trace, save_trace
 from ..workloads.scenarios import ScenarioConfig
@@ -81,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write all artifact data as JSON",
     )
     _add_harness_args(paper)
+    _add_telemetry_args(paper)
 
     run = sub.add_parser("run", help="run one policy on one workload")
     _add_workload_arg(run)
@@ -88,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
     )
     run.add_argument("--beta", type=float, default=None)
+    _add_telemetry_args(run)
     run.add_argument(
         "--dump-events",
         action="store_true",
@@ -119,12 +135,49 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--improved", choices=sorted(POLICY_FACTORIES), default="simty"
     )
+    _add_telemetry_args(compare)
+
+    profile = sub.add_parser(
+        "profile",
+        help=(
+            "run one fully instrumented simulation: per-phase timings, the "
+            "SIMTY similarity-class decision breakdown, and trace exports"
+        ),
+    )
+    _add_workload_arg(profile)
+    profile.add_argument(
+        "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
+    )
+    profile.add_argument("--beta", type=float, default=None)
+    profile.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    profile.add_argument(
+        "--jsonl-out",
+        metavar="PATH",
+        default=None,
+        help="write the raw telemetry event log as JSON lines",
+    )
+    profile.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus-style text snapshot of every metric",
+    )
 
     inspect = sub.add_parser(
         "inspect", help="analyse a trace saved with `run --save-trace`"
     )
     inspect.add_argument("trace", help="path to a saved trace JSON")
     inspect.add_argument("--timeline", action="store_true")
+    inspect.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print the telemetry summary embedded in the trace, if any",
+    )
 
     sub.add_parser("validate", help="run installation self-checks")
 
@@ -164,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arg(sweep)
     _add_harness_args(sweep)
+    _add_telemetry_args(sweep)
     return parser
 
 
@@ -243,6 +297,43 @@ def _add_harness_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument the run(s) and print a telemetry summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a Chrome trace_event JSON of the instrumented run(s);"
+            " implies --telemetry"
+        ),
+    )
+
+
+def _telemetry_hub(args: argparse.Namespace) -> Optional[Telemetry]:
+    """The run's hub, or ``None`` (= zero-cost no-op instrumentation)."""
+    if getattr(args, "trace_out", None):
+        args.telemetry = True
+    return Telemetry() if getattr(args, "telemetry", False) else None
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, hub: Optional[Telemetry]
+) -> None:
+    """Print the summary and write the Chrome trace, if instrumented."""
+    if hub is None:
+        return
+    print()
+    print(render_telemetry(hub.summary()))
+    if args.trace_out:
+        count = write_chrome_trace(hub, args.trace_out)
+        print(f"\nchrome trace ({count} events) written to {args.trace_out}")
+
+
 def _scenario_config(beta: Optional[float]) -> Optional[ScenarioConfig]:
     if beta is None:
         return None
@@ -283,10 +374,14 @@ def _print_stats(cache: ResultCache) -> None:
 def _command_paper(args: argparse.Namespace) -> int:
     scenario_config = _scenario_config(args.beta)
     cache = _harness_cache(args)
+    hub = _telemetry_hub(args)
+    if hub is not None:
+        cache.bind_telemetry(hub)
     matrix = run_paper_matrix(
         scenario_config=scenario_config,
         cache=cache,
         max_workers=args.workers,
+        telemetry=hub,
         **_supervision_kwargs(args),
     )
     if len(matrix) < 2:
@@ -303,12 +398,14 @@ def _command_paper(args: argparse.Namespace) -> int:
         print(f"\nartifact data written to {args.json}")
     if args.stats:
         _print_stats(cache)
+    _finish_telemetry(args, hub)
     return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    hub = _telemetry_hub(args)
     result = run_experiment(
-        args.workload, args.policy, _scenario_config(args.beta)
+        args.workload, args.policy, _scenario_config(args.beta), telemetry=hub
     )
     print(
         f"{result.policy_name.upper()} on {result.workload_name}: "
@@ -332,15 +429,18 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.dump_events:
         for event in event_log(result.trace):
             print(event.format())
+    _finish_telemetry(args, hub)
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    hub = _telemetry_hub(args)
     pair = run_pair(
         args.workload,
         baseline_policy=args.baseline,
         improved_policy=args.improved,
         scenario_config=_scenario_config(args.beta),
+        telemetry=hub,
     )
     matrix = {args.workload: pair}
     print(render_fig3(matrix))
@@ -350,13 +450,51 @@ def _command_compare(args: argparse.Namespace) -> int:
     print(render_table4(matrix))
     print()
     print(render_summary(matrix))
+    _finish_telemetry(args, hub)
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    hub = Telemetry()
+    spec = RunSpec(
+        workload=args.workload,
+        policy=args.policy,
+        scenario=_scenario_config(args.beta),
+    )
+    record = run_spec(spec, telemetry=hub)
+    result = record.result
+    print(
+        f"{result.policy_name.upper()} on {result.workload_name}: "
+        f"{result.wakeups.cpu.delivered} wakeups, "
+        f"{result.energy.total_mj / 1000.0:.0f} J total, "
+        f"simulated in {record.wall_time_s * 1000.0:.1f} ms"
+    )
+    print()
+    print(render_telemetry(hub.summary()))
+    if args.trace_out:
+        count = write_chrome_trace(hub, args.trace_out)
+        print(f"\nchrome trace ({count} events) written to {args.trace_out}")
+    if args.jsonl_out:
+        count = write_jsonl(hub, args.jsonl_out)
+        print(f"telemetry event log ({count} lines) written to {args.jsonl_out}")
+    if args.prom_out:
+        from pathlib import Path
+
+        Path(args.prom_out).write_text(prometheus_text(hub))
+        print(f"prometheus snapshot written to {args.prom_out}")
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     cache = _harness_cache(args)
+    hub = _telemetry_hub(args)
+    if hub is not None:
+        cache.bind_telemetry(hub)
     harness = dict(
-        cache=cache, max_workers=args.workers, **_supervision_kwargs(args)
+        cache=cache,
+        max_workers=args.workers,
+        telemetry=hub,
+        **_supervision_kwargs(args),
     )
     if args.kind == "beta":
         rows = beta_sweep(workload=args.workload, **harness)
@@ -388,6 +526,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(format_table(headers, body))
     if args.stats:
         _print_stats(cache)
+    _finish_telemetry(args, hub)
     return 0
 
 
@@ -424,6 +563,15 @@ def _command_inspect(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(render_timeline(trace))
+    if args.telemetry:
+        print()
+        if trace.telemetry is not None:
+            print(render_telemetry(trace.telemetry))
+        else:
+            print(
+                "(no telemetry in this trace — record one with "
+                "`simty run --telemetry --save-trace ...`)"
+            )
     return 0
 
 
@@ -434,6 +582,7 @@ _COMMANDS = {
     "fuzz": _command_fuzz,
     "run": _command_run,
     "compare": _command_compare,
+    "profile": _command_profile,
     "sweep": _command_sweep,
 }
 

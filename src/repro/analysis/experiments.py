@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 
 from ..core.policy import AlignmentPolicy
 from ..metrics.energy import EnergyComparison
+from ..obs.telemetry import Telemetry
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
 from ..runner.cache import ResultCache
@@ -60,6 +61,7 @@ def run_experiment(
     model: PowerModel = NEXUS5,
     simulator_config: Optional[SimulatorConfig] = None,
     policy_factory: Optional[Callable[[], AlignmentPolicy]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Run one cell of the experiment matrix.
 
@@ -75,6 +77,7 @@ def run_experiment(
             model=model,
             simulator_config=simulator_config,
             policy_name=policy,
+            telemetry=telemetry,
         )
     spec = RunSpec(
         workload=workload,
@@ -85,7 +88,7 @@ def run_experiment(
     )
     from ..runner.executor import run_spec
 
-    return run_spec(spec).result
+    return run_spec(spec, telemetry=telemetry).result
 
 
 def run_workload(
@@ -95,6 +98,7 @@ def run_workload(
     simulator_config: Optional[SimulatorConfig] = None,
     policy_name: Optional[str] = None,
     external_events: tuple = (),
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Run an already-built workload under a policy instance.
 
@@ -108,6 +112,7 @@ def run_workload(
         simulator_config=simulator_config,
         policy_name=policy_name,
         external_events=external_events,
+        telemetry=telemetry,
     )
 
 
@@ -158,6 +163,7 @@ def run_pair(
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> PairResult:
     """Run the paper's basic comparison on one workload.
 
@@ -179,6 +185,7 @@ def run_pair(
         cache=cache,
         timeout_s=timeout_s,
         retries=retries,
+        telemetry=telemetry,
     )
     return PairResult(
         workload_name=workload,
@@ -197,6 +204,7 @@ def run_paper_matrix(
     on_error: str = "raise",
     checkpoint=None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, PairResult]:
     """Both workloads, NATIVE vs SIMTY: the inputs to Figs. 3-4 and Table 4.
 
@@ -220,6 +228,7 @@ def run_paper_matrix(
         on_error=on_error,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     )
     matrix: Dict[str, PairResult] = {}
     for index, workload in enumerate(workloads):

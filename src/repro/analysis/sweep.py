@@ -35,6 +35,7 @@ import dataclasses
 
 from ..core.similarity import HARDWARE_CLASSIFIERS
 from ..metrics.delay import max_window_violation_ms
+from ..obs.telemetry import Telemetry
 from ..power.accounting import account, savings_fraction
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
@@ -53,6 +54,7 @@ def _harness_kwargs(
     on_error: str,
     checkpoint: Optional[RunJournal],
     resume: bool,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Any]:
     """The ``run_many`` kwargs shared by every sweep."""
     return dict(
@@ -63,6 +65,7 @@ def _harness_kwargs(
         on_error=on_error,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     )
 
 
@@ -84,6 +87,7 @@ def beta_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """Sweep the grace fraction; NATIVE is the beta-independent baseline."""
     cache = cache if cache is not None else ResultCache()
@@ -101,7 +105,14 @@ def beta_sweep(
     records = run_many(
         specs,
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     rows = []
@@ -132,6 +143,7 @@ def classifier_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """Compare the hardware-similarity granularities of Sec. 3.1.1."""
     cache = cache if cache is not None else ResultCache()
@@ -150,7 +162,14 @@ def classifier_sweep(
     records = run_many(
         specs,
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     baseline = records[0].result
@@ -181,6 +200,7 @@ def scale_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """NATIVE-vs-SIMTY savings on synthetic workloads of growing size."""
     cache = cache if cache is not None else ResultCache()
@@ -199,7 +219,14 @@ def scale_sweep(
     records = run_many(
         specs,
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     rows = []
@@ -228,6 +255,7 @@ def bucket_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """Compare SIMTY with the fixed-interval remedy of [Lin et al.] (A4).
 
@@ -253,7 +281,14 @@ def bucket_sweep(
     records = run_many(
         specs,
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     baseline = records[0].result
@@ -289,6 +324,7 @@ def sensitivity_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """Perturb the calibrated power constants and re-derive the headline.
 
@@ -306,7 +342,14 @@ def sensitivity_sweep(
             RunSpec(workload=workload, policy="simty", model=model),
         ],
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     native, simty = records[0].result, records[1].result
@@ -359,6 +402,7 @@ def duration_sweep(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict]:
     """SIMTY vs the Sec. 5 duration-aware extension."""
     cache = cache if cache is not None else ResultCache()
@@ -369,7 +413,14 @@ def duration_sweep(
             RunSpec(workload=workload, policy="simty+dur", model=model),
         ],
         **_harness_kwargs(
-            cache, max_workers, timeout_s, retries, on_error, checkpoint, resume
+            cache,
+            max_workers,
+            timeout_s,
+            retries,
+            on_error,
+            checkpoint,
+            resume,
+            telemetry,
         ),
     )
     baseline = records[0].result

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .alarm import Alarm
 from .entry import QueueEntry
 from .queue import AlarmQueue
@@ -28,6 +29,14 @@ class AlignmentPolicy(ABC):
     #: Whether queues under this policy compute entry delivery times with
     #: the grace rule for imperceptible entries (True only for SIMTY).
     grace_mode: bool = False
+
+    #: Telemetry hub for instrumented policies (class-level null default so
+    #: policies constructed outside a Simulator stay zero-cost).
+    telemetry: Telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach the run's telemetry hub (the Simulator calls this)."""
+        self.telemetry = telemetry
 
     def make_queue(self) -> AlarmQueue:
         """Create a queue configured for this policy's delivery-time rule."""

@@ -98,6 +98,10 @@ class HardwareSimilarityClassifier:
     #: Short name used in reports and sweeps.
     name: str = "abstract"
 
+    #: Human-readable label per rank (index = rank value), used by the
+    #: telemetry layer to break SIMTY decisions down per Table 1 cell.
+    rank_names: tuple = ("high", "medium", "low")
+
     def rank(self, first: HardwareSet, second: HardwareSet) -> int:
         raise NotImplementedError
 
@@ -107,6 +111,7 @@ class ThreeLevelHardware(HardwareSimilarityClassifier):
 
     num_ranks = 3
     name = "three-level"
+    rank_names = ("high", "medium", "low")
 
     def rank(self, first: HardwareSet, second: HardwareSet) -> int:
         return int(classify_hardware(first, second))
@@ -117,6 +122,7 @@ class TwoLevelHardware(HardwareSimilarityClassifier):
 
     num_ranks = 2
     name = "two-level"
+    rank_names = ("shared", "disjoint")
 
     def rank(self, first: HardwareSet, second: HardwareSet) -> int:
         if first.intersection(second).is_empty():
@@ -134,6 +140,7 @@ class FourLevelHardware(HardwareSimilarityClassifier):
 
     num_ranks = 4
     name = "four-level"
+    rank_names = ("high", "medium-hungry", "medium-light", "low")
 
     def rank(self, first: HardwareSet, second: HardwareSet) -> int:
         base = classify_hardware(first, second)

@@ -68,7 +68,15 @@ class SimtyPolicy(AlignmentPolicy):
         The scan keeps the best (lowest) preferability seen so far; because
         entries are examined in queue order, ties resolve to the first-found
         entry as the paper specifies.
+
+        With telemetry enabled the two phases run separately (search
+        collects every applicable entry, selection then ranks them) so each
+        gets its own span; the fused single-pass below is the production
+        path.  Both orderings resolve ties to the first-found entry — the
+        ranking uses a strict ``<`` — so the chosen entry is identical.
         """
+        if self.telemetry.enabled:
+            return self._search_and_select_instrumented(queue, alarm)
         best_entry: Optional[QueueEntry] = None
         best_score = math.inf
         for entry in queue.entries():
@@ -82,6 +90,48 @@ class SimtyPolicy(AlignmentPolicy):
             if score < best_score:
                 best_score = score
                 best_entry = entry
+        return best_entry
+
+    def _search_and_select_instrumented(
+        self, queue: AlarmQueue, alarm: Alarm
+    ) -> Optional[QueueEntry]:
+        """Telemetry variant: explicit search then selection phases.
+
+        Records the Table 1 decision breakdown — per hardware×time
+        similarity cell, how many candidates were applicable and which one
+        won — plus search/selection timing and scan-width histograms.
+        """
+        tel = self.telemetry
+        rank_names = self.hardware_classifier.rank_names
+        tel.count("simty.searches")
+        with tel.span("simty.search", alarm=alarm.label):
+            scanned = 0
+            applicable = []
+            for entry in queue.entries():
+                scanned += 1
+                ok, time_sim = self._applicability(alarm, entry)
+                if ok:
+                    applicable.append((entry, time_sim))
+        tel.observe("simty.candidates_scanned", scanned)
+        with tel.span("simty.select", candidates=len(applicable)):
+            best_entry: Optional[QueueEntry] = None
+            best_score = math.inf
+            best_labels = None
+            for entry, time_sim in applicable:
+                hardware_rank = self.hardware_classifier.rank(
+                    alarm.hardware, entry.hardware
+                )
+                labels = (rank_names[hardware_rank], time_sim.name.lower())
+                tel.count("simty.applicable", hw=labels[0], time=labels[1])
+                score = preference(hardware_rank, time_sim)
+                if score < best_score:
+                    best_score = score
+                    best_entry = entry
+                    best_labels = labels
+        if best_entry is not None:
+            tel.count("simty.selected", hw=best_labels[0], time=best_labels[1])
+        else:
+            tel.count("simty.new_entry")
         return best_entry
 
     def _applicability(

@@ -1,0 +1,82 @@
+"""Runtime observability: the telemetry hub, summaries and exporters.
+
+This package is deliberately dependency-free within :mod:`repro` (nothing
+here imports the simulator, runner or analysis layers), so every layer can
+instrument itself against :class:`Telemetry` without import cycles.
+
+Quick tour::
+
+    from repro.obs import Telemetry
+
+    tel = Telemetry()
+    with tel.span("engine.run", policy="SIMTY"):
+        tel.count("engine.events", type="registration")
+        tel.gauge("engine.queue_depth", 12)
+    summary = tel.summary()            # plain data, picklable, JSON-able
+    print(summary.span_total_ms("engine.run"))
+
+Disabled instrumentation uses :data:`NULL_TELEMETRY` — a shared no-op hub
+— so hot paths pay nothing when observability is off.
+"""
+
+from .exporters import (
+    chrome_trace_payload,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .render import (
+    render_counters,
+    render_phase_table,
+    render_similarity_breakdown,
+    render_telemetry,
+)
+from .summary import (
+    EMPTY_SUMMARY,
+    GaugeSummary,
+    HistogramSummary,
+    SpanSummary,
+    TelemetrySummary,
+    merge_summaries,
+    summarize,
+)
+from .telemetry import (
+    COUNTER_MAX,
+    NULL_TELEMETRY,
+    FakeClock,
+    NullTelemetry,
+    SpanEvent,
+    SpanMismatchError,
+    Telemetry,
+    metric_key,
+    split_metric,
+)
+
+__all__ = [
+    "COUNTER_MAX",
+    "EMPTY_SUMMARY",
+    "FakeClock",
+    "GaugeSummary",
+    "HistogramSummary",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanEvent",
+    "SpanMismatchError",
+    "SpanSummary",
+    "Telemetry",
+    "TelemetrySummary",
+    "chrome_trace_payload",
+    "jsonl_lines",
+    "merge_summaries",
+    "metric_key",
+    "prometheus_text",
+    "render_counters",
+    "render_phase_table",
+    "render_similarity_breakdown",
+    "render_telemetry",
+    "split_metric",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,399 @@
+"""The telemetry hub: counters, gauges, histograms and nested spans.
+
+Everything the repo reported before this layer existed was computed
+*post-hoc* over a finished :class:`~repro.simulator.trace.SimulationTrace`.
+The :class:`Telemetry` hub instead observes the system *while* it runs —
+which decision points the SIMTY policy visited, how deep the alarm queues
+were, where the engine's wall time went — without changing any simulation
+outcome.
+
+Design rules:
+
+* **Zero-cost when disabled.**  Instrumented code holds a hub reference
+  that defaults to :data:`NULL_TELEMETRY`, whose methods do nothing, and
+  hot paths gate their instrumentation on the hub's ``enabled`` flag so a
+  disabled run pays one boolean check, not a call chain.  The overhead
+  benchmark (``benchmarks/test_bench_telemetry_overhead.py``) enforces
+  this stays under ~5% on the heavy workload.
+
+* **Injected time source.**  Span arithmetic never calls
+  ``time.perf_counter()`` directly; the hub is constructed with a
+  monotonic nanosecond clock (default ``time.perf_counter_ns``) and tests
+  inject a :class:`FakeClock` for fully deterministic durations.
+
+* **Plain-data summaries.**  A live hub holds the raw span events (for
+  the Chrome-trace/JSONL exporters); :meth:`Telemetry.summary` reduces
+  them to a picklable, JSON-able
+  :class:`~repro.obs.summary.TelemetrySummary` that can ride on a trace
+  across a process boundary.
+
+Metric names use dotted lowercase (``engine.queue_depth``); labels are
+encoded into the metric key as ``name{k=v,...}`` with sorted keys, so a
+label set is exactly one counter cell (the SIMTY Table 1 breakdown is the
+canonical use: ``simty.applicable{hw=high,time=medium}``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "COUNTER_MAX",
+    "FakeClock",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanEvent",
+    "SpanMismatchError",
+    "Telemetry",
+    "metric_key",
+    "split_metric",
+]
+
+#: Counters saturate here instead of growing without bound: every exporter
+#: (Chrome trace args, Prometheus text) assumes values fit an int64, and a
+#: pathological horizon must degrade to a pinned counter, not a wrong one.
+COUNTER_MAX = 2**63 - 1
+
+#: Default cap on retained span events; beyond it the hub counts drops
+#: instead of growing without bound on pathological horizons.
+DEFAULT_MAX_EVENTS = 250_000
+
+
+class SpanMismatchError(RuntimeError):
+    """A span was exited out of order (or with nothing open).
+
+    Spans are strictly nested: ``end(name)`` must match the most recent
+    un-ended ``begin``.  Raising immediately turns an instrumentation bug
+    into a loud failure instead of silently garbled timings.
+    """
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical storage key for a metric cell: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`metric_key`: ``name{k=v}`` → ``(name, {k: v})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest[:-1].split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+class FakeClock:
+    """Deterministic nanosecond time source for telemetry tests.
+
+    Calling the clock returns the current fake time and then advances it
+    by ``auto_step_ns`` (so consecutive spans get distinct, predictable
+    timestamps even without explicit :meth:`advance` calls).
+    """
+
+    def __init__(self, start_ns: int = 0, auto_step_ns: int = 0) -> None:
+        if start_ns < 0 or auto_step_ns < 0:
+            raise ValueError("fake time never runs backwards")
+        self._now = start_ns
+        self._auto_step = auto_step_ns
+
+    def __call__(self) -> int:
+        now = self._now
+        self._now += self._auto_step
+        return now
+
+    def advance(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            raise ValueError("fake time never runs backwards")
+        self._now += delta_ns
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span: a named, timed, possibly nested unit of work."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    depth: int
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+class _Span:
+    """Context-manager handle produced by :meth:`Telemetry.span`."""
+
+    __slots__ = ("_hub", "_name", "_args")
+
+    def __init__(self, hub: "Telemetry", name: str, args: Dict[str, object]):
+        self._hub = hub
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._hub.begin(self._name, **self._args)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._hub.end(self._name)
+        return False
+
+
+class _GaugeCell:
+    __slots__ = ("last", "min", "max", "updates")
+
+    def __init__(self, value: float) -> None:
+        self.last = value
+        self.min = value
+        self.max = value
+        self.updates = 1
+
+    def update(self, value: float) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+
+class _HistogramCell:
+    """Power-of-two bucketed histogram (plus exact count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket upper bound (2**k) -> observation count
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = 1 << max(0, int(value)).bit_length()
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+
+class _SpanCell:
+    __slots__ = ("count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    def record(self, duration_ns: int) -> None:
+        self.count += 1
+        self.total_ns += duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if self.max_ns is None or duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+
+
+class Telemetry:
+    """A live telemetry hub collecting metrics and spans for one scope.
+
+    A hub is cheap; the harness forks one child per run
+    (:meth:`fork`) so per-run summaries stay separable while exporters can
+    still walk the whole tree for a single flamegraph.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], int]] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self.max_events = max_events
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, _GaugeCell] = {}
+        self.histograms: Dict[str, _HistogramCell] = {}
+        self.span_stats: Dict[str, _SpanCell] = {}
+        self.events: List[SpanEvent] = []
+        self.dropped_events = 0
+        self.children: List[Tuple[str, "Telemetry"]] = []
+        self._stack: List[Tuple[str, int, Tuple[Tuple[str, object], ...]]] = []
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: int = 1, **labels: object) -> None:
+        """Add ``value`` to a (monotonic) counter cell."""
+        key = metric_key(name, labels) if labels else name
+        current = self.counters.get(key, 0)
+        self.counters[key] = min(COUNTER_MAX, current + value)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge cell, tracking last/min/max across updates."""
+        key = metric_key(name, labels) if labels else name
+        cell = self.gauges.get(key)
+        if cell is None:
+            self.gauges[key] = _GaugeCell(value)
+        else:
+            cell.update(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into a histogram cell."""
+        key = metric_key(name, labels) if labels else name
+        cell = self.histograms.get(key)
+        if cell is None:
+            cell = self.histograms[key] = _HistogramCell()
+        cell.observe(value)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **args: object) -> _Span:
+        """Context manager timing a named, nested unit of work."""
+        return _Span(self, name, args)
+
+    def begin(self, name: str, **args: object) -> None:
+        """Open a span manually (prefer :meth:`span` where possible)."""
+        self._stack.append((name, self._clock(), tuple(sorted(args.items()))))
+
+    def end(self, name: str) -> None:
+        """Close the innermost open span; it must be ``name``."""
+        if not self._stack:
+            raise SpanMismatchError(
+                f"end({name!r}) with no span open"
+            )
+        open_name, start_ns, args = self._stack[-1]
+        if open_name != name:
+            raise SpanMismatchError(
+                f"end({name!r}) while {open_name!r} is the innermost open "
+                "span; spans must close in LIFO order"
+            )
+        self._stack.pop()
+        end_ns = self._clock()
+        depth = len(self._stack)
+        cell = self.span_stats.get(name)
+        if cell is None:
+            cell = self.span_stats[name] = _SpanCell()
+        cell.record(end_ns - start_ns)
+        if len(self.events) < self.max_events:
+            self.events.append(
+                SpanEvent(
+                    name=name,
+                    start_ns=start_ns,
+                    end_ns=end_ns,
+                    depth=depth,
+                    args=args,
+                )
+            )
+        else:
+            self.dropped_events += 1
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def fork(self, name: str) -> "Telemetry":
+        """Create a child hub sharing this hub's clock and event budget.
+
+        The harness forks one child per run; exporters walk
+        ``children`` to lay every run on one timeline, while each child
+        summarizes independently for its :class:`RunRecord`.
+        """
+        child = Telemetry(clock=self._clock, max_events=self.max_events)
+        self.children.append((name, child))
+        return child
+
+    def summary(self, include_children: bool = True):
+        """Reduce to a plain-data :class:`~repro.obs.summary.TelemetrySummary`."""
+        from .summary import summarize
+
+        return summarize(self, include_children=include_children)
+
+
+class _NullSpan:
+    """Reusable no-op span handle."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled hub: every operation is a no-op, nothing is stored.
+
+    Instrumented code defaults to this, so simulation paths pay (at most)
+    an attribute load and a boolean check when telemetry is off.  The
+    no-op contract — *emits exactly nothing* — is tested directly.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def count(self, name: str, value: int = 1, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def span(self, name: str, **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, name: str, **args: object) -> None:
+        pass
+
+    def end(self, name: str) -> None:
+        pass
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def fork(self, name: str) -> "NullTelemetry":
+        return self
+
+    def summary(self, include_children: bool = True):
+        from .summary import EMPTY_SUMMARY
+
+        return EMPTY_SUMMARY
+
+
+#: Shared disabled hub; instrumented modules use it as their default.
+NULL_TELEMETRY = NullTelemetry()

@@ -15,6 +15,11 @@ docs/robustness.md):
   ``on_error="keep_going"``);
 * :class:`RunJournal` — the checkpoint journal that lets an interrupted
   sweep resume from where it died.
+
+Every entry point accepts a ``telemetry`` hub (see :mod:`repro.obs`):
+cache traffic, worker utilization and per-run engine/policy timings are
+recorded when one is passed, and per-run summaries ride on
+``record.telemetry``.
 """
 
 from .cache import CacheStats, ResultCache

@@ -26,10 +26,12 @@ from __future__ import annotations
 import os
 import pickle
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .record import ExperimentResult, RunRecord
 
 
@@ -42,15 +44,21 @@ class CacheStats:
     #: On-disk entries that failed to load and were quarantined (each one
     #: also shows up as a miss when the executor re-simulates the spec).
     corrupt: int = 0
+    #: In-memory entries dropped by the LRU bound (``max_memory_entries``).
+    #: Disk entries, when enabled, are never evicted.
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        text = f"{self.hits} hits / {self.misses} misses"
-        if self.corrupt:
-            text += f" / {self.corrupt} corrupt entries quarantined"
+        text = (
+            f"{self.hits} hits / {self.misses} misses / "
+            f"{self.corrupt} corrupt"
+        )
+        if self.evictions:
+            text += f" / {self.evictions} evicted"
         return text
 
 
@@ -63,12 +71,21 @@ class ResultCache:
     invocation, reuse earlier simulations.
     """
 
-    def __init__(self, disk_dir: Optional[Union[str, Path]] = None) -> None:
-        self._memory: Dict[str, ExperimentResult] = {}
+    def __init__(
+        self,
+        disk_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[Telemetry] = None,
+        max_memory_entries: Optional[int] = None,
+    ) -> None:
+        if max_memory_entries is not None and max_memory_entries <= 0:
+            raise ValueError("max_memory_entries must be positive (or None)")
+        self._memory: "OrderedDict[str, ExperimentResult]" = OrderedDict()
+        self._max_memory_entries = max_memory_entries
         self._disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self._disk_dir is not None:
             self._disk_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Every RunRecord resolved through this cache, in submission
         #: order — the CLI's ``--stats`` summary table reads this log.
         self.records: List[RunRecord] = []
@@ -77,12 +94,28 @@ class ResultCache:
     def disk_dir(self) -> Optional[Path]:
         return self._disk_dir
 
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach (or replace) the telemetry hub counting cache traffic."""
+        self.telemetry = telemetry
+
+    # ------------------------------------------------------------------
+    # Resolution accounting (the executor reports how each spec resolved)
+    # ------------------------------------------------------------------
+    def note_hit(self) -> None:
+        self.stats.hits += 1
+        self.telemetry.count("cache.hit")
+
+    def note_miss(self) -> None:
+        self.stats.misses += 1
+        self.telemetry.count("cache.miss")
+
     # ------------------------------------------------------------------
     # Plumbing (no hit/miss side effects; the executor does the counting)
     # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[ExperimentResult]:
         result = self._memory.get(digest)
         if result is not None:
+            self._memory.move_to_end(digest)
             return result
         if self._disk_dir is not None:
             path = self._disk_path(digest)
@@ -101,13 +134,14 @@ class ResultCache:
                     # so the spec is simply re-simulated.
                     self._quarantine(path)
                     self.stats.corrupt += 1
+                    self.telemetry.count("cache.corrupt")
                     return None
-                self._memory[digest] = result
+                self._admit(digest, result)
                 return result
         return None
 
     def put(self, digest: str, result: ExperimentResult) -> None:
-        self._memory[digest] = result
+        self._admit(digest, result)
         if self._disk_dir is not None:
             path = self._disk_path(digest)
             # Unique per-writer temp name: two processes storing the same
@@ -122,6 +156,23 @@ class ResultCache:
             except BaseException:
                 tmp.unlink(missing_ok=True)
                 raise
+
+    def _admit(self, digest: str, result: ExperimentResult) -> None:
+        """Insert into the memory layer, evicting LRU entries past the cap.
+
+        Eviction only trims the memory layer — with a disk layer the entry
+        stays loadable, so a bounded cache trades re-read (or, without
+        disk, re-simulation) for memory on giant sweeps.
+        """
+        self._memory[digest] = result
+        self._memory.move_to_end(digest)
+        cap = self._max_memory_entries
+        if cap is None:
+            return
+        while len(self._memory) > cap:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            self.telemetry.count("cache.evict")
 
     def __contains__(self, digest: str) -> bool:
         if digest in self._memory:

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.policy import AlignmentPolicy
 from ..metrics.delay import delay_report
 from ..metrics.wakeups import wakeup_breakdown
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..power.accounting import account
 from ..power.model import PowerModel
 from ..power.profiles import NEXUS5
@@ -67,48 +68,67 @@ def run_built(
     simulator_config: Optional[SimulatorConfig] = None,
     policy_name: Optional[str] = None,
     external_events: tuple = (),
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Run an already-built workload under a policy instance.
 
     ``external_events`` injects user/push wakes (see
     :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
+    ``telemetry`` instruments the run; the hub's summary rides on
+    ``result.trace.telemetry``.
     """
     config = simulator_config or SimulatorConfig(horizon=workload.horizon)
     if config.horizon != workload.horizon:
         config = dataclasses.replace(config, horizon=workload.horizon)
-    simulator = Simulator(policy, config=config, external_events=external_events)
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    simulator = Simulator(
+        policy, config=config, external_events=external_events, telemetry=telemetry
+    )
     workload.apply(simulator)
     trace = simulator.run()
     majors = workload.major_labels()
+    with tel.span("harness.metrics"):
+        energy = account(trace, model)
+        delays = delay_report(trace, labels=majors)
+        wakeups = wakeup_breakdown(trace, major_labels=majors)
+    if tel.enabled:
+        # Refresh so the harness spans (metrics, workload build) join the
+        # engine's own on the summary the trace carries.
+        trace.telemetry = tel.summary()
     return ExperimentResult(
         workload_name=workload.name,
         policy_name=policy_name or policy.name,
         trace=trace,
-        energy=account(trace, model),
-        delays=delay_report(trace, labels=majors),
-        wakeups=wakeup_breakdown(trace, major_labels=majors),
+        energy=energy,
+        delays=delays,
+        wakeups=wakeups,
         major_labels=majors,
     )
 
 
 def execute_spec(
-    spec: RunSpec, registry: Optional[Registry] = None
+    spec: RunSpec,
+    registry: Optional[Registry] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Resolve and simulate ``spec`` unconditionally (no cache)."""
     registry = registry or DEFAULT_REGISTRY
-    workload = registry.build_workload(
-        spec.workload,
-        spec.scenario,
-        seed=spec.seed,
-        **dict(spec.workload_kwargs),
-    )
-    policy = registry.create_policy(spec.policy, **dict(spec.policy_kwargs))
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("harness.build_workload", workload=spec.workload):
+        workload = registry.build_workload(
+            spec.workload,
+            spec.scenario,
+            seed=spec.seed,
+            **dict(spec.workload_kwargs),
+        )
+        policy = registry.create_policy(spec.policy, **dict(spec.policy_kwargs))
     return run_built(
         workload,
         policy,
         model=spec.model,
         simulator_config=spec.simulator,
         policy_name=spec.display_name(),
+        telemetry=telemetry,
     )
 
 
@@ -116,13 +136,14 @@ def run_spec(
     spec: RunSpec,
     cache: Optional[ResultCache] = None,
     registry: Optional[Registry] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunRecord:
     """Run one spec through the cache, returning its :class:`RunRecord`."""
     digest = spec.digest()
     if cache is not None:
         cached = cache.get(digest)
         if cached is not None:
-            cache.stats.hits += 1
+            cache.note_hit()
             record = RunRecord(
                 spec=spec,
                 digest=digest,
@@ -133,10 +154,10 @@ def run_spec(
             cache.records.append(record)
             return record
     started = time.perf_counter()
-    result = execute_spec(spec, registry)
+    result = execute_spec(spec, registry, telemetry=telemetry)
     wall = time.perf_counter() - started
     if cache is not None:
-        cache.stats.misses += 1
+        cache.note_miss()
         cache.put(digest, result)
     record = RunRecord(
         spec=spec, digest=digest, result=result, wall_time_s=wall, cache_hit=False
@@ -198,6 +219,7 @@ def run_many(
     on_error: str = "raise",
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[RunRecord]:
     """Run a batch of specs, deduplicated, supervised, and (optionally)
     in parallel.
@@ -225,6 +247,12 @@ def run_many(
       ``resume=True`` only journaled digests are trusted to the cache and
       everything else — including entries a dying run half-committed — is
       re-executed.  Without ``resume`` the journal restarts from scratch.
+
+    ``telemetry`` instruments the batch: each serially-executed spec runs
+    on a forked child hub (named after the spec), pool workers build their
+    own per-process hubs whose summaries ride back on the result traces,
+    and the parent hub gets the harness view — worker count, utilization,
+    per-spec wall-time histogram, retry/timeout/failure counters.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
@@ -240,6 +268,8 @@ def run_many(
     if checkpoint is not None and not resume:
         checkpoint.reset()
     trusted = checkpoint.completed() if (checkpoint and resume) else None
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    batch_started = time.perf_counter()
 
     digests = [spec.digest() for spec in specs]
     records: List[Optional[RunRecord]] = [None] * len(specs)
@@ -259,7 +289,7 @@ def run_many(
         trustworthy = trusted is None or digest in trusted
         cached = cache.get(digest) if (cache is not None and trustworthy) else None
         if cached is not None:
-            cache.stats.hits += 1
+            cache.note_hit()
             records[index] = RunRecord(
                 spec=spec,
                 digest=digest,
@@ -277,14 +307,25 @@ def run_many(
     outcomes: Dict[int, Outcome] = {}
     if use_pool:
         outcomes = run_supervised_pool(
-            pending, max_workers=max_workers, timeout_s=timeout_s, retries=retries
+            pending,
+            max_workers=max_workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            enable_telemetry=tel.enabled,
         )
     else:
         supervised = timeout_s is not None or retries > 0
         for index, spec in pending:
+            # Each serial execution gets its own child hub so runs stay
+            # separable in exporters (one Chrome trace lane per spec).
+            child = tel.fork(spec.display_name()) if tel.enabled else None
             if supervised:
                 outcome = run_supervised_serial(
-                    spec, registry, timeout_s=timeout_s, retries=retries
+                    spec,
+                    registry,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    telemetry=child,
                 )
             else:
                 # Legacy fast path: zero supervision overhead, and — under
@@ -292,7 +333,7 @@ def run_many(
                 # immediately, exactly as the unsupervised executor did.
                 if on_error == "raise":
                     started = time.perf_counter()
-                    result = execute_spec(spec, registry)
+                    result = execute_spec(spec, registry, telemetry=child)
                     outcome = Outcome(
                         status=RunStatus.OK,
                         result=result,
@@ -300,7 +341,9 @@ def run_many(
                         attempts=1,
                     )
                 else:
-                    outcome = run_supervised_serial(spec, registry)
+                    outcome = run_supervised_serial(
+                        spec, registry, telemetry=child
+                    )
             if not outcome.ok and on_error == "raise":
                 _raise_outcome(spec, digests[index], outcome, timeout_s)
             outcomes[index] = outcome
@@ -311,7 +354,7 @@ def run_many(
         if not outcome.ok and on_error == "raise":
             _raise_outcome(spec, digest, outcome, timeout_s)
         if cache is not None:
-            cache.stats.misses += 1
+            cache.note_miss()
             if outcome.result is not None:
                 cache.put(digest, outcome.result)
         journal(digest, outcome.status)
@@ -329,7 +372,7 @@ def run_many(
         assert source is not None
         if source.ok:
             if cache is not None:
-                cache.stats.hits += 1
+                cache.note_hit()
             records[index] = RunRecord(
                 spec=spec,
                 digest=digest,
@@ -341,6 +384,25 @@ def run_many(
             records[index] = dataclasses.replace(
                 source, spec=spec, wall_time_s=0.0
             )
+    if tel.enabled:
+        elapsed = time.perf_counter() - batch_started
+        workers = max_workers if use_pool else 1
+        tel.gauge("runner.workers", workers)
+        busy = sum(outcome.wall_time_s for outcome in outcomes.values())
+        if elapsed > 0:
+            tel.gauge(
+                "runner.utilization", min(1.0, busy / (workers * elapsed))
+            )
+        for outcome in outcomes.values():
+            tel.observe(
+                "runner.wall_time_ms", int(outcome.wall_time_s * 1000)
+            )
+            if outcome.attempts > 1:
+                tel.count("runner.retries", outcome.attempts - 1)
+            if outcome.status is RunStatus.TIMEOUT:
+                tel.count("runner.timeouts")
+            elif outcome.status is RunStatus.FAILED:
+                tel.count("runner.failures")
     resolved = [record for record in records if record is not None]
     if cache is not None:
         cache.records.extend(resolved)

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from ..metrics.delay import DelayReport
 from ..metrics.wakeups import WakeupBreakdown
+from ..obs.summary import TelemetrySummary
 from ..power.accounting import EnergyBreakdown
 from ..simulator.trace import SimulationTrace
 from .spec import RunSpec
@@ -90,6 +91,13 @@ class RunRecord:
             return 0
         return len(self.result.trace.violations)
 
+    @property
+    def telemetry(self) -> Optional[TelemetrySummary]:
+        """The run's telemetry summary (``None`` when uninstrumented)."""
+        if self.result is None:
+            return None
+        return self.result.trace.telemetry
+
     def workload_name(self) -> str:
         if self.result is not None:
             return self.result.workload_name
@@ -128,6 +136,10 @@ def summary_table(records: Sequence[RunRecord]) -> str:
     )
     if show_violations:
         headers = headers + ("violations",)
+    # Likewise the telemetry column: only instrumented batches widen.
+    show_telemetry = any(record.telemetry for record in records)
+    if show_telemetry:
+        headers = headers + ("engine [ms]",)
     rows = []
     for record in records:
         row = (
@@ -142,6 +154,11 @@ def summary_table(records: Sequence[RunRecord]) -> str:
         )
         if show_violations:
             row = row + (str(record.violation_count) if record.result else "-",)
+        if show_telemetry:
+            summary = record.telemetry
+            row = row + (
+                f"{summary.span_total_ms('engine.run'):.2f}" if summary else "-",
+            )
         rows.append(row)
     return _render_table(headers, rows)
 

@@ -123,7 +123,7 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def attempt_spec(spec: RunSpec, registry=None) -> Tuple:
+def attempt_spec(spec: RunSpec, registry=None, telemetry=None) -> Tuple:
     """Execute one attempt, capturing any exception instead of raising.
 
     Returns ``("ok", result, wall_s)`` or
@@ -135,7 +135,7 @@ def attempt_spec(spec: RunSpec, registry=None) -> Tuple:
 
     started = time.perf_counter()
     try:
-        result = execute_spec(spec, registry)
+        result = execute_spec(spec, registry, telemetry=telemetry)
     except Exception as exc:  # noqa: BLE001 — supervision must isolate everything
         wall = time.perf_counter() - started
         return (
@@ -148,13 +148,21 @@ def attempt_spec(spec: RunSpec, registry=None) -> Tuple:
     return ("ok", result, time.perf_counter() - started)
 
 
-def _attempt_pool(spec: RunSpec) -> Tuple:
-    """Pool worker entry point (default registry only)."""
-    return attempt_spec(spec, None)
+def _attempt_pool(spec: RunSpec, enable_telemetry: bool = False) -> Tuple:
+    """Pool worker entry point (default registry only).
+
+    Live hubs do not cross process boundaries, so an instrumented batch
+    ships only a *flag*; the worker builds a fresh hub whose summary rides
+    back on ``result.trace.telemetry`` (plain, picklable data).
+    """
+    from ..obs.telemetry import Telemetry  # local import: worker side only
+
+    telemetry = Telemetry() if enable_telemetry else None
+    return attempt_spec(spec, None, telemetry)
 
 
 def _attempt_with_timeout(
-    spec: RunSpec, registry, timeout_s: Optional[float]
+    spec: RunSpec, registry, timeout_s: Optional[float], telemetry=None
 ) -> Tuple:
     """One serial attempt, bounded by ``timeout_s`` via a daemon thread.
 
@@ -163,10 +171,10 @@ def _attempt_with_timeout(
     simulations.
     """
     if timeout_s is None:
-        return attempt_spec(spec, registry)
+        return attempt_spec(spec, registry, telemetry)
     box: List[Tuple] = []
     thread = threading.Thread(
-        target=lambda: box.append(attempt_spec(spec, registry)),
+        target=lambda: box.append(attempt_spec(spec, registry, telemetry)),
         name=f"run-attempt-{spec.digest()[:12]}",
         daemon=True,
     )
@@ -202,12 +210,13 @@ def run_supervised_serial(
     retries: int = 0,
     backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
     backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    telemetry=None,
 ) -> Outcome:
     """Supervise one spec in-process: timeout, retries, backoff+jitter."""
     attempts = 0
     while True:
         attempts += 1
-        payload = _attempt_with_timeout(spec, registry, timeout_s)
+        payload = _attempt_with_timeout(spec, registry, timeout_s, telemetry)
         if payload[0] == "ok":
             return _outcome_from_payload(payload, attempts)
         if attempts > retries:
@@ -247,6 +256,7 @@ def run_supervised_pool(
     max_workers: int,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    enable_telemetry: bool = False,
 ) -> Dict[int, Outcome]:
     """Supervise a batch over a process pool; outcomes keyed by index.
 
@@ -283,7 +293,12 @@ def run_supervised_pool(
             round_items, queue = queue, []
         pool = ProcessPoolExecutor(max_workers=max_workers)
         futures = [
-            (pool.submit(_attempt_pool, spec), index, spec, attempt)
+            (
+                pool.submit(_attempt_pool, spec, enable_telemetry),
+                index,
+                spec,
+                attempt,
+            )
             for index, spec, attempt in round_items
         ]
         broken = False

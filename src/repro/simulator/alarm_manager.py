@@ -9,19 +9,26 @@ separate queues and are aligned separately (Sec. 2.1, 3.2.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.alarm import Alarm
 from ..core.entry import QueueEntry
 from ..core.policy import AlignmentPolicy
 from ..core.queue import AlarmQueue
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class AlarmManager:
     """Policy-driven alarm registration and queueing."""
 
-    def __init__(self, policy: AlignmentPolicy) -> None:
+    def __init__(
+        self,
+        policy: AlignmentPolicy,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel_enabled = self.telemetry.enabled
         self.wakeup_queue: AlarmQueue = policy.make_queue()
         self.nonwakeup_queue: AlarmQueue = policy.make_queue()
 
@@ -34,7 +41,13 @@ class AlarmManager:
     # ------------------------------------------------------------------
     def register(self, alarm: Alarm, now: int) -> QueueEntry:
         """Insert a newly registered (or re-registered) alarm."""
-        return self.policy.insert(self.queue_for(alarm), alarm, now)
+        if not self._tel_enabled:
+            return self.policy.insert(self.queue_for(alarm), alarm, now)
+        tel = self.telemetry
+        with tel.span("manager.register", alarm=alarm.label, t=now):
+            entry = self.policy.insert(self.queue_for(alarm), alarm, now)
+        tel.count("manager.register", wakeup=str(alarm.wakeup).lower())
+        return entry
 
     def cancel(self, alarm: Alarm, now: int = 0) -> bool:
         """Remove an alarm from its queue; True when it was queued.
@@ -47,24 +60,40 @@ class AlarmManager:
         anchor that no longer exists.  Android does the same: a
         ``removeLocked`` triggers ``rebatchAllAlarmsLocked``.
         """
+        if not self._tel_enabled:
+            removed, _ = self._cancel(alarm, now)
+            return removed
+        tel = self.telemetry
+        with tel.span("manager.cancel", alarm=alarm.label, t=now):
+            removed, survivors = self._cancel(alarm, now)
+        tel.count("manager.cancel", removed=str(removed).lower())
+        if survivors:
+            tel.count("manager.reanchored", survivors)
+        return removed
+
+    def _cancel(self, alarm: Alarm, now: int) -> Tuple[bool, int]:
+        """Core cancel; returns (removed, re-anchored survivor count)."""
         queue = self.queue_for(alarm)
         removed, survivor_entry = queue.remove_alarm_with_entry(alarm)
         if removed is None:
-            return False
-        if survivor_entry is not None:
-            queue.remove_entry(survivor_entry)
-            survivors = sorted(
-                survivor_entry, key=lambda a: (a.nominal_time, a.alarm_id)
-            )
-            for follower in survivors:
-                self.policy.insert(queue, follower, now)
-        return True
+            return False, 0
+        if survivor_entry is None:
+            return True, 0
+        queue.remove_entry(survivor_entry)
+        survivors = sorted(
+            survivor_entry, key=lambda a: (a.nominal_time, a.alarm_id)
+        )
+        for follower in survivors:
+            self.policy.insert(queue, follower, now)
+        return True, len(survivors)
 
     # ------------------------------------------------------------------
     # Engine-facing operations
     # ------------------------------------------------------------------
     def reinsert(self, alarm: Alarm, now: int) -> QueueEntry:
         """Re-queue a repeating alarm right after its delivery (Sec. 2.1)."""
+        if self._tel_enabled:
+            self.telemetry.count("manager.reinsert")
         return self.policy.reinsert(self.queue_for(alarm), alarm, now)
 
     def next_wakeup_time(self) -> Optional[int]:

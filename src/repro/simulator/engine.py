@@ -17,6 +17,7 @@ from ..core.alarm import Alarm, RepeatKind
 from ..core.entry import QueueEntry
 from ..core.policy import AlignmentPolicy
 from ..core.units import THREE_HOURS_MS
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .alarm_manager import AlarmManager
 from .clock import VirtualClock
 from .device import DEFAULT_TAIL_MS, Device, WakeReason
@@ -118,10 +119,17 @@ class Simulator:
         config: Optional[SimulatorConfig] = None,
         external_events: Iterable[ExternalWake] = (),
         monitor: Optional[InvariantMonitor] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or SimulatorConfig()
         self.policy = policy
-        self.manager = AlarmManager(policy)
+        # The hub is threaded through every decision point of the run —
+        # the manager and the policy record onto the same timeline, so a
+        # Chrome trace shows the SIMTY search *inside* its registration.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel_enabled = self.telemetry.enabled
+        policy.bind_telemetry(self.telemetry)
+        self.manager = AlarmManager(policy, telemetry=self.telemetry)
         self.clock = VirtualClock()
         self.device = Device(tail_ms=self.config.tail_ms)
         self.rtc = RealTimeClock(self.config.wake_latency_ms)
@@ -257,6 +265,27 @@ class Simulator:
         self._events = 0
         self._stalled = 0
         self._last_instant = -1
+        if self._tel_enabled:
+            with self.telemetry.span(
+                "engine.run", policy=self.policy.name, horizon=horizon
+            ):
+                self._run_loop(horizon)
+        else:
+            self._run_loop(horizon)
+        # A wake triggered just before the horizon can resume after it; the
+        # session closes at the real clock time and energy accounting clips
+        # at the horizon.
+        self.device.force_sleep(max(horizon, self.clock.now))
+        self.trace.sessions = self.device.sessions
+        if self.monitor is not None:
+            self.monitor.on_run_end(horizon)
+            self.trace.violations = self.monitor.violations
+        if self._tel_enabled:
+            self.trace.telemetry = self.telemetry.summary()
+        return self.trace
+
+    def _run_loop(self, horizon: int) -> None:
+        instrumented = self._tel_enabled
         while True:
             instant = self._next_event_time()
             if instant is None or instant >= horizon:
@@ -269,25 +298,76 @@ class Simulator:
             # where the outer loop alone would never notice.
             self._watchdog_tick(instant)
             self.clock.advance_to(instant)
-            self._process_registrations()
-            self._process_cancellations()
-            self._process_reregistrations()
-            self._process_externals()
-            self._deliver_due_wakeups()
-            if self.device.awake:
-                self._deliver_due_nonwakeups()
-                self.device.try_sleep(self.clock.now)
+            if instrumented:
+                self._dispatch_instrumented()
+            else:
+                self._process_registrations()
+                self._process_cancellations()
+                self._process_reregistrations()
+                self._process_externals()
+                self._deliver_due_wakeups()
+                if self.device.awake:
+                    self._deliver_due_nonwakeups()
+                    self.device.try_sleep(self.clock.now)
             if self.monitor is not None:
                 self.monitor.on_step_end(self.clock.now)
-        # A wake triggered just before the horizon can resume after it; the
-        # session closes at the real clock time and energy accounting clips
-        # at the horizon.
-        self.device.force_sleep(max(horizon, self.clock.now))
-        self.trace.sessions = self.device.sessions
-        if self.monitor is not None:
-            self.monitor.on_run_end(horizon)
-            self.trace.violations = self.monitor.violations
-        return self.trace
+
+    def _dispatch_instrumented(self) -> None:
+        """One scheduler step with per-event-type dispatch spans.
+
+        Mirrors the plain branch of :meth:`_run_loop` exactly — same phase
+        order, same behaviour — but wraps each phase that has due work in
+        a span and maintains the queue-depth/pending-registration gauges.
+        Spans are only opened for phases with something due, so the Chrome
+        trace shows real dispatches, not thousands of empty probes.
+        """
+        tel = self.telemetry
+        now = self.clock.now
+        tel.gauge("engine.queue_depth", self.manager.pending_alarm_count())
+        tel.gauge(
+            "engine.pending_registrations",
+            len(self._registrations) - self._registration_index,
+        )
+        if (
+            self._registration_index < len(self._registrations)
+            and self._registrations[self._registration_index].time <= now
+        ):
+            with tel.span("engine.dispatch.registration", t=now):
+                count = self._process_registrations()
+            tel.count("engine.events", count, type="registration")
+        if (
+            self._cancellation_index < len(self._cancellations)
+            and self._cancellations[self._cancellation_index].time <= now
+        ):
+            with tel.span("engine.dispatch.cancellation", t=now):
+                count = self._process_cancellations()
+            tel.count("engine.events", count, type="cancellation")
+        if (
+            self._reregistration_index < len(self._reregistrations)
+            and self._reregistrations[self._reregistration_index].time <= now
+        ):
+            with tel.span("engine.dispatch.reregistration", t=now):
+                count = self._process_reregistrations()
+            tel.count("engine.events", count, type="reregistration")
+        if (
+            self._external_index < len(self._externals)
+            and self._externals[self._external_index].time <= now
+        ):
+            with tel.span("engine.dispatch.external", t=now):
+                count = self._process_externals()
+            tel.count("engine.events", count, type="external")
+        due = self.manager.next_wakeup_time()
+        if due is not None and due <= now:
+            with tel.span("engine.dispatch.wakeup", t=now):
+                count = self._deliver_due_wakeups()
+            tel.count("engine.events", count, type="wakeup_batch")
+        if self.device.awake:
+            due = self.manager.next_nonwakeup_time()
+            if due is not None and due <= self.clock.now:
+                with tel.span("engine.dispatch.nonwakeup", t=self.clock.now):
+                    count = self._deliver_due_nonwakeups()
+                tel.count("engine.events", count, type="nonwakeup_batch")
+            self.device.try_sleep(self.clock.now)
 
     def _watchdog_tick(self, instant: int) -> None:
         """Count one scheduler step; raise when a budget trips.
@@ -298,6 +378,8 @@ class Simulator:
         declared stalled.
         """
         self._events += 1
+        if self._tel_enabled:
+            self.telemetry.count("engine.watchdog.ticks")
         max_events = self.config.max_events
         if max_events is not None and self._events > max_events:
             raise SimulationStalled(
@@ -305,6 +387,8 @@ class Simulator:
             )
         if instant <= self._last_instant:
             self._stalled += 1
+            if self._tel_enabled:
+                self.telemetry.count("engine.watchdog.stalled")
             if self._stalled > self.config.max_stalled_events:
                 raise SimulationStalled(
                     "clock is not advancing",
@@ -353,8 +437,9 @@ class Simulator:
     # ------------------------------------------------------------------
     # Event processing
     # ------------------------------------------------------------------
-    def _process_registrations(self) -> None:
+    def _process_registrations(self) -> int:
         now = self.clock.now
+        processed = 0
         while (
             self._registration_index < len(self._registrations)
             and self._registrations[self._registration_index].time <= now
@@ -363,6 +448,8 @@ class Simulator:
             self._registration_index += 1
             self.manager.register(pending.alarm, now)
             self._record_registration(pending.alarm, now)
+            processed += 1
+        return processed
 
     def _record_registration(self, alarm: Alarm, now: int) -> None:
         self.trace.registrations.append(
@@ -377,8 +464,9 @@ class Simulator:
         if self.monitor is not None:
             self.monitor.on_register(alarm, now)
 
-    def _process_cancellations(self) -> None:
+    def _process_cancellations(self) -> int:
         now = self.clock.now
+        processed = 0
         while (
             self._cancellation_index < len(self._cancellations)
             and self._cancellations[self._cancellation_index].time <= now
@@ -388,9 +476,12 @@ class Simulator:
             removed = self.manager.cancel(pending.alarm, now)
             if self.monitor is not None:
                 self.monitor.on_cancel(pending.alarm, now, removed)
+            processed += 1
+        return processed
 
-    def _process_reregistrations(self) -> None:
+    def _process_reregistrations(self) -> int:
         now = self.clock.now
+        processed = 0
         while (
             self._reregistration_index < len(self._reregistrations)
             and self._reregistrations[self._reregistration_index].time <= now
@@ -415,9 +506,12 @@ class Simulator:
                     alarm.nominal_time = now + interval
             self.manager.register(alarm, now)
             self._record_registration(alarm, now)
+            processed += 1
+        return processed
 
-    def _process_externals(self) -> None:
+    def _process_externals(self) -> int:
         now = self.clock.now
+        processed = 0
         while (
             self._external_index < len(self._externals)
             and self._externals[self._external_index].time <= now
@@ -428,11 +522,13 @@ class Simulator:
                 self.device.wake(now, WakeReason.EXTERNAL)
                 self._session_fresh = True
             self.device.extend_busy(now, event.hold_ms)
+            processed += 1
+        return processed
 
-    def _deliver_due_wakeups(self) -> None:
+    def _deliver_due_wakeups(self) -> int:
         due_time = self.manager.next_wakeup_time()
         if due_time is None or due_time > self.clock.now:
-            return
+            return 0
         if not self.device.awake:
             # RTC interrupt: the device needs wake_latency_ms before the
             # alarm manager runs; the latency shows up as delivery delay
@@ -443,6 +539,7 @@ class Simulator:
             resume = self.rtc.resume_time(fire_time, device_awake=False)
             self.device.extend_busy(fire_time, resume - fire_time)
             self.clock.advance_to(resume)
+        delivered = 0
         while True:
             scheduled = self.manager.next_wakeup_time()
             if scheduled is None or scheduled > self.clock.now:
@@ -451,8 +548,11 @@ class Simulator:
             entry = self.manager.pop_due_wakeup(self.clock.now)
             assert entry is not None
             self._deliver_entry(entry, scheduled)
+            delivered += 1
+        return delivered
 
-    def _deliver_due_nonwakeups(self) -> None:
+    def _deliver_due_nonwakeups(self) -> int:
+        delivered = 0
         while True:
             scheduled = self.manager.next_nonwakeup_time()
             if scheduled is None or scheduled > self.clock.now:
@@ -461,6 +561,8 @@ class Simulator:
             entry = self.manager.pop_due_nonwakeup(self.clock.now)
             assert entry is not None
             self._deliver_entry(entry, scheduled)
+            delivered += 1
+        return delivered
 
     def _deliver_entry(self, entry: QueueEntry, scheduled: int) -> None:
         now = self.clock.now
@@ -510,8 +612,14 @@ def simulate(
     alarms: Iterable[Alarm],
     config: Optional[SimulatorConfig] = None,
     external_events: Iterable[ExternalWake] = (),
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationTrace:
     """Convenience one-shot runner: register ``alarms`` at t=0 and run."""
-    simulator = Simulator(policy, config=config, external_events=external_events)
+    simulator = Simulator(
+        policy,
+        config=config,
+        external_events=external_events,
+        telemetry=telemetry,
+    )
     simulator.add_alarms(alarms)
     return simulator.run()

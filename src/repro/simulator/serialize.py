@@ -14,6 +14,7 @@ from typing import Dict, List, Union
 from ..core.alarm import RepeatKind
 from ..core.hardware import Component, HardwareSet
 from ..core.invariants import Violation
+from ..obs.summary import TelemetrySummary
 from .device import WakeReason, WakeSession
 from .tasks import TaskExecution
 from .trace import (
@@ -117,6 +118,9 @@ def trace_to_dict(trace: SimulationTrace) -> Dict:
             }
             for v in trace.violations
         ],
+        "telemetry": trace.telemetry.to_dict()
+        if trace.telemetry is not None
+        else None,
     }
 
 
@@ -190,6 +194,10 @@ def trace_from_dict(payload: Dict) -> SimulationTrace:
     trace.violations = [
         Violation(**entry) for entry in payload.get("violations", [])
     ]
+    # Likewise telemetry: absent or null in pre-observability traces.
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:
+        trace.telemetry = TelemetrySummary.from_dict(telemetry)
     return trace
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from ..core.alarm import Alarm, RepeatKind
 from ..core.hardware import Component, HardwareSet
 from ..core.invariants import Violation
+from ..obs.summary import TelemetrySummary
 from .device import WakeSession
 from .tasks import TaskExecution
 from .wakelock import WakelockLedger
@@ -137,6 +138,10 @@ class SimulationTrace:
     #: Invariant breaches observed by an armed online monitor (empty when
     #: the run was unmonitored or clean).
     violations: List[Violation] = field(default_factory=list)
+    #: Telemetry summary for the run (``None`` when the run was not
+    #: instrumented).  Plain data, so it crosses process boundaries with
+    #: pool workers and survives serialize round trips.
+    telemetry: Optional[TelemetrySummary] = None
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -58,7 +58,7 @@ def test_attribution_conserves_energy(config):
     # less awake time, so conservation is asserted on unclipped runs.
     assume(
         all(
-            session.end is not None and session.end <= trace.horizon
+            session.end is not None and session.end < trace.horizon
             for session in trace.sessions
         )
     )

@@ -208,3 +208,66 @@ class TestAtomicWrites:
             with pytest.raises(OSError):
                 cache.put("f" * 64, record.result)
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestMemoryBound:
+    def _specs(self, count):
+        return [short_spec(seed=seed) for seed in range(1, count + 1)]
+
+    def test_lru_eviction_past_cap(self):
+        cache = ResultCache(max_memory_entries=2)
+        records = [run_spec(spec, cache=cache) for spec in self._specs(3)]
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # Oldest digest left memory; the two recent ones stayed.
+        assert records[0].digest not in cache
+        assert records[1].digest in cache and records[2].digest in cache
+
+    def test_recent_use_protects_an_entry(self):
+        cache = ResultCache(max_memory_entries=2)
+        first, second = [run_spec(spec, cache=cache) for spec in self._specs(2)]
+        # Touch the older entry so the *other* one becomes LRU.
+        assert cache.get(first.digest) is first.result
+        run_spec(self._specs(3)[2], cache=cache)
+        assert first.digest in cache
+        assert second.digest not in cache
+
+    def test_eviction_falls_back_to_disk(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path, max_memory_entries=1)
+        records = [run_spec(spec, cache=cache) for spec in self._specs(2)]
+        assert records[0].digest not in cache._memory
+        # The evicted entry reloads from disk: a hit, not a re-simulation.
+        rerun = run_spec(self._specs(2)[0], cache=cache)
+        assert rerun.cache_hit
+        assert cache.stats.misses == 2
+
+    def test_evictions_render_in_stats_line(self):
+        cache = ResultCache(max_memory_entries=1)
+        for spec in self._specs(3):
+            run_spec(spec, cache=cache)
+        assert "2 evicted" in str(cache.stats)
+        assert "0 hits / 3 misses / 0 corrupt" in str(cache.stats)
+
+    def test_non_positive_cap_rejected(self):
+        import pytest
+
+        for cap in (0, -1):
+            with pytest.raises(ValueError):
+                ResultCache(max_memory_entries=cap)
+
+
+class TestCacheTelemetry:
+    def test_hits_misses_and_evictions_counted(self):
+        from repro.obs.telemetry import Telemetry
+
+        cache = ResultCache(max_memory_entries=1)
+        hub = Telemetry()
+        cache.bind_telemetry(hub)
+        specs = [short_spec(seed=seed) for seed in (1, 2)]
+        run_spec(specs[0], cache=cache)
+        run_spec(specs[1], cache=cache)  # evicts the first entry
+        run_spec(specs[1], cache=cache)  # memory hit
+        summary = hub.summary()
+        assert summary.counter("cache.miss") == cache.stats.misses == 2
+        assert summary.counter("cache.hit") == cache.stats.hits == 1
+        assert summary.counter("cache.evict") == cache.stats.evictions == 1
