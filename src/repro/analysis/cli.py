@@ -36,6 +36,8 @@ from ..runner import (
     run_spec,
     summary_table,
 )
+from ..core.backend import BACKEND_NAMES
+from ..simulator.engine import SimulatorConfig
 from ..simulator.events import event_log
 from ..simulator.serialize import load_trace, save_trace
 from ..workloads.scenarios import ScenarioConfig
@@ -76,6 +78,27 @@ def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--queue-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "scheduling-kernel queue backend (default: the policy's own, "
+            "i.e. the paper-faithful 'list'); 'indexed' keeps the alignment "
+            "hot path sub-linear without changing any decision"
+        ),
+    )
+
+
+def _simulator_config(args: argparse.Namespace):
+    """A SimulatorConfig override, or None when every knob is default."""
+    backend = getattr(args, "queue_backend", None)
+    if backend is None:
+        return None
+    return SimulatorConfig(queue_backend=backend)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="simty",
@@ -94,11 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all artifact data as JSON",
     )
+    _add_backend_arg(paper)
     _add_harness_args(paper)
     _add_telemetry_args(paper)
 
     run = sub.add_parser("run", help="run one policy on one workload")
     _add_workload_arg(run)
+    _add_backend_arg(run)
     run.add_argument(
         "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
     )
@@ -128,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="NATIVE vs SIMTY on one workload")
     _add_workload_arg(compare)
+    _add_backend_arg(compare)
     compare.add_argument("--beta", type=float, default=None)
     compare.add_argument(
         "--baseline", choices=sorted(POLICY_FACTORIES), default="native"
@@ -145,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_workload_arg(profile)
+    _add_backend_arg(profile)
     profile.add_argument(
         "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
     )
@@ -216,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="beta",
     )
     _add_workload_arg(sweep)
+    _add_backend_arg(sweep)
     _add_harness_args(sweep)
     _add_telemetry_args(sweep)
     return parser
@@ -379,6 +407,7 @@ def _command_paper(args: argparse.Namespace) -> int:
         cache.bind_telemetry(hub)
     matrix = run_paper_matrix(
         scenario_config=scenario_config,
+        simulator_config=_simulator_config(args),
         cache=cache,
         max_workers=args.workers,
         telemetry=hub,
@@ -405,7 +434,11 @@ def _command_paper(args: argparse.Namespace) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     hub = _telemetry_hub(args)
     result = run_experiment(
-        args.workload, args.policy, _scenario_config(args.beta), telemetry=hub
+        args.workload,
+        args.policy,
+        _scenario_config(args.beta),
+        simulator_config=_simulator_config(args),
+        telemetry=hub,
     )
     print(
         f"{result.policy_name.upper()} on {result.workload_name}: "
@@ -440,6 +473,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         baseline_policy=args.baseline,
         improved_policy=args.improved,
         scenario_config=_scenario_config(args.beta),
+        simulator_config=_simulator_config(args),
         telemetry=hub,
     )
     matrix = {args.workload: pair}
@@ -460,6 +494,7 @@ def _command_profile(args: argparse.Namespace) -> int:
         workload=args.workload,
         policy=args.policy,
         scenario=_scenario_config(args.beta),
+        simulator=_simulator_config(args),
     )
     record = run_spec(spec, telemetry=hub)
     result = record.result
@@ -494,6 +529,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         max_workers=args.workers,
         telemetry=hub,
+        simulator_config=_simulator_config(args),
         **_supervision_kwargs(args),
     )
     if args.kind == "beta":

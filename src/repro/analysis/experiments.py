@@ -197,6 +197,7 @@ def run_pair(
 def run_paper_matrix(
     scenario_config: Optional[ScenarioConfig] = None,
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -217,7 +218,12 @@ def run_paper_matrix(
     specs = []
     for workload in workloads:
         specs.extend(
-            pair_specs(workload, scenario_config=scenario_config, model=model)
+            pair_specs(
+                workload,
+                scenario_config=scenario_config,
+                model=model,
+                simulator_config=simulator_config,
+            )
         )
     records = run_many(
         specs,

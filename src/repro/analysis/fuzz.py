@@ -3,7 +3,7 @@
 Generates seeded random workloads — alarm populations crossed with mid-run
 churn scripts and external-wake injections — and runs each case under both
 NATIVE and SIMTY with the online invariant monitor armed
-(``on_violation="record"``).  Three independent detectors examine every
+(``on_violation="record"``).  Four independent detectors examine every
 case:
 
 * **invariants** — any :class:`~repro.core.invariants.Violation` the
@@ -16,7 +16,11 @@ case:
 * **differential** — on churn-free cases, each static repeating wakeup
   alarm must be delivered the same number of times (±1 for the horizon
   boundary) under both policies; a larger divergence means one policy
-  skipped or duplicated occurrences the other did not.
+  skipped or duplicated occurrences the other did not;
+* **backend** — every policy run is repeated on the ``indexed`` queue
+  backend (:mod:`repro.core.backend`) and its serialized trace must be
+  byte-identical to the reference ``list`` backend's: backend choice may
+  change the cost of a decision, never the decision.
 
 Any failing case is automatically *shrunk* — alarms, churn operations and
 externals are greedily removed while the failure reproduces — and rendered
@@ -31,12 +35,14 @@ from ``(seed,)`` alone and the CI smoke run (``simty fuzz --budget 60
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.alarm import Alarm, RepeatKind
+from ..core.backend import DEFAULT_BACKEND
 from ..core.hardware import (
     EMPTY_HARDWARE,
     SPEAKER_VIBRATOR_ONLY,
@@ -49,9 +55,14 @@ from ..core.oracle import minimum_wakeups
 from ..core.simty import SimtyPolicy
 from ..simulator.engine import Simulator, SimulatorConfig
 from ..simulator.external import ExternalWake
+from ..simulator.serialize import trace_to_dict
 
 #: The policies every case is run under.
 POLICY_NAMES = ("native", "simty")
+
+#: Queue backends each policy run is differentially compared across: the
+#: first entry is the reference whose outcome feeds the other detectors.
+BACKEND_AXIS = (DEFAULT_BACKEND, "indexed")
 
 _KINDS = {
     "static": RepeatKind.STATIC,
@@ -91,10 +102,11 @@ class AlarmSpec:
     hardware: str = "none"
     hold_ms: Optional[int] = None
 
-    def build(self) -> Alarm:
+    def build(self, alarm_id: Optional[int] = None) -> Alarm:
         return Alarm(
             app=self.label,
             label=self.label,
+            alarm_id=alarm_id,
             nominal_time=self.nominal,
             repeat_interval=self.interval,
             repeat_kind=_KINDS[self.kind],
@@ -272,13 +284,15 @@ class PolicyOutcome:
     wake_count: int = 0
     delivered: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Canonical serialized trace (sorted-key JSON) for backend comparison.
+    trace_json: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class Failure:
     """One detector firing on one case."""
 
-    kind: str  # "invariant" | "oracle" | "differential" | "crash"
+    kind: str  # "invariant" | "oracle" | "differential" | "backend" | "crash"
     detail: str
 
 
@@ -297,7 +311,9 @@ def _make_policy(name: str):
     return NativePolicy() if name == "native" else SimtyPolicy()
 
 
-def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
+def _run_policy(
+    case: FuzzCase, policy_name: str, queue_backend: str = DEFAULT_BACKEND
+) -> PolicyOutcome:
     outcome = PolicyOutcome(policy=policy_name)
     config = SimulatorConfig(
         horizon=case.horizon,
@@ -309,6 +325,7 @@ def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
         tail_ms=0,
         monitor="record",
         max_events=500_000,
+        queue_backend=queue_backend,
     )
     externals = [
         ExternalWake(time=spec.time, hold_ms=spec.hold_ms)
@@ -317,8 +334,10 @@ def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
     simulator = Simulator(_make_policy(policy_name), config, externals)
     alarms_by_label: Dict[str, Alarm] = {}
     try:
-        for spec in case.alarms:
-            alarm = spec.build()
+        for index, spec in enumerate(case.alarms):
+            # Deterministic ids (not the global counter) so the serialized
+            # traces of repeated runs of one case are byte-comparable.
+            alarm = spec.build(alarm_id=index + 1)
             alarms_by_label[spec.label] = alarm
             simulator.add_alarm(alarm, 0)
         for op in case.churn:
@@ -337,6 +356,7 @@ def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
         return outcome
     outcome.violations = list(trace.violations)
     outcome.wake_count = trace.wake_count()
+    outcome.trace_json = json.dumps(trace_to_dict(trace), sort_keys=True)
     for record in trace.deliveries():
         outcome.delivered[record.label] = (
             outcome.delivered.get(record.label, 0) + 1
@@ -345,7 +365,12 @@ def _run_policy(case: FuzzCase, policy_name: str) -> PolicyOutcome:
 
 
 def run_case(case: FuzzCase) -> CaseOutcome:
-    """Run one case under every policy and apply all three detectors."""
+    """Run one case under every policy × backend and apply all detectors.
+
+    The reference (``list``) backend outcome per policy feeds the
+    invariant/oracle/differential detectors; the ``indexed`` rerun only
+    has to reproduce the reference trace byte-for-byte.
+    """
     outcomes = {name: _run_policy(case, name) for name in POLICY_NAMES}
     failures: List[Failure] = []
     for name, outcome in outcomes.items():
@@ -360,6 +385,31 @@ def run_case(case: FuzzCase) -> CaseOutcome:
                     detail=f"{name}: {violation.format()}",
                 )
             )
+    for name, reference in outcomes.items():
+        for backend in BACKEND_AXIS[1:]:
+            rerun = _run_policy(case, name, queue_backend=backend)
+            if rerun.error is not None:
+                if reference.error is None:
+                    failures.append(
+                        Failure(
+                            kind="backend",
+                            detail=(
+                                f"{name}: {backend} backend crashed where "
+                                f"{BACKEND_AXIS[0]} did not: {rerun.error}"
+                            ),
+                        )
+                    )
+                continue
+            if reference.error is None and rerun.trace_json != reference.trace_json:
+                failures.append(
+                    Failure(
+                        kind="backend",
+                        detail=(
+                            f"{name}: serialized traces diverge between the "
+                            f"{BACKEND_AXIS[0]} and {backend} backends"
+                        ),
+                    )
+                )
     if case.oracle_eligible() and not any(
         outcome.error for outcome in outcomes.values()
     ):
@@ -532,6 +582,7 @@ class FuzzReport:
     violation_total: int = 0
     oracle_divergences: int = 0
     differential_divergences: int = 0
+    backend_divergences: int = 0
     crashes: int = 0
 
     @property
@@ -541,10 +592,12 @@ class FuzzReport:
     def format(self) -> str:
         lines = [
             f"fuzz: {self.cases_run} cases in {self.elapsed_s:.1f}s "
-            f"(seed {self.seed}, policies {'/'.join(POLICY_NAMES)})",
+            f"(seed {self.seed}, policies {'/'.join(POLICY_NAMES)}, "
+            f"backends {'/'.join(BACKEND_AXIS)})",
             f"  invariant violations:     {self.violation_total}",
             f"  oracle divergences:       {self.oracle_divergences}",
             f"  differential divergences: {self.differential_divergences}",
+            f"  backend divergences:      {self.backend_divergences}",
             f"  crashes:                  {self.crashes}",
         ]
         if self.ok:
@@ -587,6 +640,8 @@ def fuzz(
                 report.oracle_divergences += 1
             elif failure.kind == "differential":
                 report.differential_divergences += 1
+            elif failure.kind == "backend":
+                report.backend_divergences += 1
             else:
                 report.crashes += 1
         if not outcome.ok:

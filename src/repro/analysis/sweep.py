@@ -43,6 +43,7 @@ from ..runner.cache import ResultCache
 from ..runner.executor import run_many
 from ..runner.journal import RunJournal
 from ..runner.spec import RunSpec
+from ..simulator.engine import SimulatorConfig
 from ..workloads.scenarios import ScenarioConfig
 
 
@@ -80,6 +81,7 @@ def beta_sweep(
     workload: str = "light",
     betas: Sequence[float] = (0.75, 0.80, 0.85, 0.90, 0.96, 0.99),
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -93,13 +95,13 @@ def beta_sweep(
     cache = cache if cache is not None else ResultCache()
     specs = []
     for beta in betas:
-        specs.append(RunSpec(workload=workload, policy="native", model=model))
+        specs.append(RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config))
         specs.append(
             RunSpec(
                 workload=workload,
                 policy="simty",
                 scenario=ScenarioConfig(beta=beta),
-                model=model,
+                model=model, simulator=simulator_config,
             )
         )
     records = run_many(
@@ -136,6 +138,7 @@ def classifier_sweep(
     workload: str = "heavy",
     model: PowerModel = NEXUS5,
     names: Optional[Iterable[str]] = None,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -148,14 +151,14 @@ def classifier_sweep(
     """Compare the hardware-similarity granularities of Sec. 3.1.1."""
     cache = cache if cache is not None else ResultCache()
     chosen = list(names or sorted(HARDWARE_CLASSIFIERS))
-    specs = [RunSpec(workload=workload, policy="native", model=model)]
+    specs = [RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config)]
     specs.extend(
         RunSpec(
             workload=workload,
             policy="simty",
             policy_kwargs={"classifier": name},
             policy_label=f"simty[{name}]",
-            model=model,
+            model=model, simulator=simulator_config,
         )
         for name in chosen
     )
@@ -193,6 +196,7 @@ def scale_sweep(
     app_counts: Sequence[int] = (10, 25, 50, 100),
     seed: int = 1,
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -213,7 +217,7 @@ def scale_sweep(
                     policy=policy,
                     workload_kwargs={"app_count": count},
                     seed=seed,
-                    model=model,
+                    model=model, simulator=simulator_config,
                 )
             )
     records = run_many(
@@ -248,6 +252,7 @@ def bucket_sweep(
     workload: str = "heavy",
     bucket_intervals_s: Sequence[int] = (60, 120, 300, 600),
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -265,8 +270,8 @@ def bucket_sweep(
     """
     cache = cache if cache is not None else ResultCache()
     specs = [
-        RunSpec(workload=workload, policy="native", model=model),
-        RunSpec(workload=workload, policy="simty", model=model),
+        RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
+        RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
     ]
     specs.extend(
         RunSpec(
@@ -274,7 +279,7 @@ def bucket_sweep(
             policy="bucket",
             policy_kwargs={"bucket_interval": interval_s * 1000},
             policy_label=f"bucket-{interval_s}s",
-            model=model,
+            model=model, simulator=simulator_config,
         )
         for interval_s in bucket_intervals_s
     )
@@ -317,6 +322,7 @@ def sensitivity_sweep(
     workload: str = "light",
     scales: Sequence[float] = (0.75, 1.0, 1.25),
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -338,8 +344,8 @@ def sensitivity_sweep(
     cache = cache if cache is not None else ResultCache()
     records = run_many(
         [
-            RunSpec(workload=workload, policy="native", model=model),
-            RunSpec(workload=workload, policy="simty", model=model),
+            RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
         ],
         **_harness_kwargs(
             cache,
@@ -395,6 +401,7 @@ def sensitivity_sweep(
 def duration_sweep(
     workload: str = "heavy",
     model: PowerModel = NEXUS5,
+    simulator_config: Optional[SimulatorConfig] = None,
     cache: Optional[ResultCache] = None,
     max_workers: int = 1,
     timeout_s: Optional[float] = None,
@@ -408,9 +415,9 @@ def duration_sweep(
     cache = cache if cache is not None else ResultCache()
     records = run_many(
         [
-            RunSpec(workload=workload, policy="native", model=model),
-            RunSpec(workload=workload, policy="simty", model=model),
-            RunSpec(workload=workload, policy="simty+dur", model=model),
+            RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty+dur", model=model, simulator=simulator_config),
         ],
         **_harness_kwargs(
             cache,

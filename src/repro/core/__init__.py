@@ -5,6 +5,14 @@ be reused directly inside any scheduler that manages batched timers.
 """
 
 from .alarm import Alarm, RepeatKind
+from .backend import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    IndexedBackend,
+    ListBackend,
+    QueueBackend,
+    make_backend,
+)
 from .bucket import FixedIntervalPolicy
 from .duration import DurationAwareSimtyPolicy, duration_dissimilarity
 from .entry import QueueEntry
@@ -62,6 +70,12 @@ from .units import (
 __all__ = [
     "Alarm",
     "RepeatKind",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "QueueBackend",
+    "ListBackend",
+    "IndexedBackend",
+    "make_backend",
     "DurationAwareSimtyPolicy",
     "duration_dissimilarity",
     "QueueEntry",

@@ -16,6 +16,8 @@ A4 bench sweeps the bucket interval against SIMTY.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .alarm import Alarm
 from .entry import QueueEntry
 from .intervals import Interval
@@ -29,7 +31,12 @@ class FixedIntervalPolicy(AlignmentPolicy):
     name = "BUCKET"
     grace_mode = False
 
-    def __init__(self, bucket_interval: int = 300_000) -> None:
+    def __init__(
+        self,
+        bucket_interval: int = 300_000,
+        queue_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(queue_backend=queue_backend)
         if bucket_interval <= 0:
             raise ValueError("bucket interval must be positive")
         self.bucket_interval = bucket_interval
@@ -42,11 +49,16 @@ class FixedIntervalPolicy(AlignmentPolicy):
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
         queue.remove_alarm(alarm)
         boundary = self.bucket_time(alarm.nominal_time)
-        for entry in queue.entries():
+        # Bucket entries carry the zero-width window [boundary, boundary],
+        # so the zero-width probe finds exactly the entries anchored at (or
+        # spanning) the boundary; the start == boundary check then picks
+        # this bucket's own entry.
+        probe = Interval(boundary, boundary)
+        for entry in queue.window_candidates(probe):
             if entry.window is not None and entry.window.start == boundary:
                 return self._place_in_bucket(queue, entry, alarm, boundary)
         entry = QueueEntry([alarm])
-        entry.window = Interval(boundary, boundary)
+        entry.window = probe
         entry.grace = entry.window
         queue.add_entry(entry)
         return entry
@@ -54,10 +66,12 @@ class FixedIntervalPolicy(AlignmentPolicy):
     def _place_in_bucket(
         self, queue: AlarmQueue, entry: QueueEntry, alarm: Alarm, boundary: int
     ) -> QueueEntry:
-        entry.add(alarm)
-        # The bucket boundary, not the members' interval algebra, defines
+        # Pull the entry out, grow it, re-pin its intervals, and re-index:
+        # the bucket boundary, not the members' interval algebra, defines
         # the delivery time.
+        queue.remove_entry(entry)
+        entry.add(alarm)
         entry.window = Interval(boundary, boundary)
         entry.grace = entry.window
-        queue.resort()
+        queue.add_entry(entry)
         return entry

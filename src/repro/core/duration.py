@@ -51,7 +51,9 @@ class DurationAwareSimtyPolicy(SimtyPolicy):
     ) -> Optional[QueueEntry]:
         best_entry: Optional[QueueEntry] = None
         best_key = (math.inf, math.inf)
-        for entry in queue.entries():
+        # Same exact pre-filter as SIMTY: applicability implies grace
+        # overlap, so only grace candidates can win.
+        for entry in queue.grace_candidates(alarm.grace_interval()):
             applicable, time_sim = self._applicability(alarm, entry)
             if not applicable:
                 continue

@@ -18,7 +18,7 @@ delivery times" — i.e. the whole queue is rebatched, mirroring Android's
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from .alarm import Alarm
 from .entry import QueueEntry
@@ -55,20 +55,55 @@ class NativePolicy(AlignmentPolicy):
         self, queue: AlarmQueue, alarm: Alarm
     ) -> Optional[QueueEntry]:
         window = alarm.window_interval()
-        for entry in queue.entries():
+        candidates = queue.window_candidates(window)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("native.searches")
+            tel.observe("native.candidates_scanned", len(candidates))
+            tel.observe("native.candidates_pruned", len(queue) - len(candidates))
+        for entry in candidates:
             if entry.window is not None and entry.window.overlaps(window):
                 return entry
         return None
 
     def _rebatch_with(self, queue: AlarmQueue, alarm: Alarm) -> QueueEntry:
-        """Rebuild the whole queue in nominal-time order, then place alarm."""
+        """Rebuild the whole queue in nominal-time order, then place alarm.
+
+        Entries are built against a plain accumulator and loaded into the
+        queue once at the end, so the backend pays one bulk ordering pass
+        instead of a re-sort per re-inserted alarm.  Selecting the
+        *minimum-key* overlapping entry from the accumulator is identical
+        to the first-found scan over a sorted queue (queue order *is*
+        ascending ``(delivery_time, entry_id)``), so the batching is
+        bit-identical to re-inserting through the queue one alarm at a
+        time.
+        """
         alarms = queue.drain()
         alarms.append(alarm)
         alarms.sort(key=lambda item: (item.nominal_time, item.alarm_id))
+        grace_mode = queue.grace_mode
+        entries: List[QueueEntry] = []
         target: Optional[QueueEntry] = None
         for item in alarms:
-            entry = self._basic_insert(queue, item)
+            window = item.window_interval()
+            best: Optional[QueueEntry] = None
+            best_key = None
+            for entry in entries:
+                if entry.window is None or not entry.window.overlaps(window):
+                    continue
+                key = (entry.delivery_time(grace_mode), entry.entry_id)
+                if best_key is None or key < best_key:
+                    best, best_key = entry, key
+            if best is not None:
+                best.add(item)
+            else:
+                best = QueueEntry([item])
+                entries.append(best)
             if item is alarm:
-                target = entry
+                target = best
+        queue.rebuild(entries)
+        if self.telemetry.enabled:
+            self.telemetry.count("native.rebatches")
+            self.telemetry.observe("native.rebatch_alarms", len(alarms))
         assert target is not None
         return target

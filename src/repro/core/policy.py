@@ -8,14 +8,22 @@ can be unit-tested in isolation and benchmarked for insertion cost (P1).
 Both Android's NATIVE policy and SIMTY are applied to wakeup and non-wakeup
 alarms *separately* (Sec. 2.1, 3.2.1); the alarm manager owns one queue per
 class and calls the same policy object on each.
+
+Every policy carries a ``queue_backend`` selection (default: the
+paper-faithful ``"list"`` backend) that :meth:`make_queue` threads into the
+queues it creates; the simulator can override it per run through
+``SimulatorConfig.queue_backend``.  Backend choice never changes a policy
+decision — only the cost of reaching it (see :mod:`repro.core.backend`).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional
 
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .alarm import Alarm
+from .backend import BACKEND_NAMES, DEFAULT_BACKEND
 from .entry import QueueEntry
 from .queue import AlarmQueue
 
@@ -34,13 +42,34 @@ class AlignmentPolicy(ABC):
     #: policies constructed outside a Simulator stay zero-cost).
     telemetry: Telemetry = NULL_TELEMETRY
 
+    #: Queue-backend selection for queues this policy creates.  A class
+    #: attribute so subclasses that define their own ``__init__`` without
+    #: chaining to ``super()`` still get the paper-faithful default.
+    queue_backend: str = DEFAULT_BACKEND
+
+    def __init__(self, queue_backend: Optional[str] = None) -> None:
+        if queue_backend is not None:
+            if queue_backend not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown queue backend {queue_backend!r}; choose from "
+                    f"{list(BACKEND_NAMES)}"
+                )
+            self.queue_backend = queue_backend
+
     def bind_telemetry(self, telemetry: Telemetry) -> None:
         """Attach the run's telemetry hub (the Simulator calls this)."""
         self.telemetry = telemetry
 
-    def make_queue(self) -> AlarmQueue:
-        """Create a queue configured for this policy's delivery-time rule."""
-        return AlarmQueue(grace_mode=self.grace_mode)
+    def make_queue(self, backend: Optional[str] = None) -> AlarmQueue:
+        """Create a queue configured for this policy's delivery-time rule.
+
+        ``backend`` overrides the policy's own ``queue_backend`` selection
+        (the alarm manager passes the simulator config's choice through).
+        """
+        return AlarmQueue(
+            grace_mode=self.grace_mode,
+            backend=backend if backend is not None else self.queue_backend,
+        )
 
     @abstractmethod
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
@@ -69,8 +98,7 @@ class AlignmentPolicy(ABC):
     def _place_in_entry(
         self, queue: AlarmQueue, entry: QueueEntry, alarm: Alarm
     ) -> QueueEntry:
-        entry.add(alarm)
-        queue.resort()
+        queue.add_to_entry(entry, alarm)
         return entry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -46,7 +46,9 @@ class SimtyPolicy(AlignmentPolicy):
     def __init__(
         self,
         hardware_classifier: Optional[HardwareSimilarityClassifier] = None,
+        queue_backend: Optional[str] = None,
     ) -> None:
+        super().__init__(queue_backend=queue_backend)
         self.hardware_classifier = hardware_classifier or ThreeLevelHardware()
 
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
@@ -79,7 +81,10 @@ class SimtyPolicy(AlignmentPolicy):
             return self._search_and_select_instrumented(queue, alarm)
         best_entry: Optional[QueueEntry] = None
         best_score = math.inf
-        for entry in queue.entries():
+        # Applicability needs at least MEDIUM time similarity, i.e. grace
+        # overlap (window overlap implies it, since window ⊆ grace), so the
+        # grace-candidate query is an exact search-phase pre-filter.
+        for entry in queue.grace_candidates(alarm.grace_interval()):
             applicable, time_sim = self._applicability(alarm, entry)
             if not applicable:
                 continue
@@ -107,12 +112,13 @@ class SimtyPolicy(AlignmentPolicy):
         with tel.span("simty.search", alarm=alarm.label):
             scanned = 0
             applicable = []
-            for entry in queue.entries():
+            for entry in queue.grace_candidates(alarm.grace_interval()):
                 scanned += 1
                 ok, time_sim = self._applicability(alarm, entry)
                 if ok:
                     applicable.append((entry, time_sim))
         tel.observe("simty.candidates_scanned", scanned)
+        tel.observe("simty.candidates_pruned", len(queue) - scanned)
         with tel.span("simty.select", candidates=len(applicable)):
             best_entry: Optional[QueueEntry] = None
             best_score = math.inf

@@ -133,12 +133,20 @@ class Registry:
 # ----------------------------------------------------------------------
 # Default entries
 # ----------------------------------------------------------------------
-def _make_simty(classifier: str = "three-level") -> SimtyPolicy:
-    return SimtyPolicy(hardware_classifier=_classifier(classifier))
+def _make_simty(
+    classifier: str = "three-level", queue_backend: Optional[str] = None
+) -> SimtyPolicy:
+    return SimtyPolicy(
+        hardware_classifier=_classifier(classifier), queue_backend=queue_backend
+    )
 
 
-def _make_simty_dur(classifier: str = "three-level") -> DurationAwareSimtyPolicy:
-    return DurationAwareSimtyPolicy(hardware_classifier=_classifier(classifier))
+def _make_simty_dur(
+    classifier: str = "three-level", queue_backend: Optional[str] = None
+) -> DurationAwareSimtyPolicy:
+    return DurationAwareSimtyPolicy(
+        hardware_classifier=_classifier(classifier), queue_backend=queue_backend
+    )
 
 
 def _classifier(name: str):
@@ -148,8 +156,12 @@ def _classifier(name: str):
         raise _unknown("hardware classifier", name, HARDWARE_CLASSIFIERS) from None
 
 
-def _make_bucket(bucket_interval: int = 300_000) -> FixedIntervalPolicy:
-    return FixedIntervalPolicy(bucket_interval=bucket_interval)
+def _make_bucket(
+    bucket_interval: int = 300_000, queue_backend: Optional[str] = None
+) -> FixedIntervalPolicy:
+    return FixedIntervalPolicy(
+        bucket_interval=bucket_interval, queue_backend=queue_backend
+    )
 
 
 def _seeded_scenario(

@@ -30,8 +30,9 @@ from ..simulator.engine import SimulatorConfig
 from ..workloads.scenarios import ScenarioConfig
 
 #: Bump when the encoding itself changes, so stale on-disk caches never
-#: alias fresh results.
-DIGEST_SCHEMA = 1
+#: alias fresh results.  Schema 2: ``SimulatorConfig.queue_backend`` joined
+#: the dataclass encoding, so backend choice keys cached results.
+DIGEST_SCHEMA = 2
 
 KwargsLike = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
 

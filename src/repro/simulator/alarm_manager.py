@@ -25,12 +25,17 @@ class AlarmManager:
         self,
         policy: AlignmentPolicy,
         telemetry: Optional[Telemetry] = None,
+        queue_backend: Optional[str] = None,
     ) -> None:
         self.policy = policy
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel_enabled = self.telemetry.enabled
-        self.wakeup_queue: AlarmQueue = policy.make_queue()
-        self.nonwakeup_queue: AlarmQueue = policy.make_queue()
+        # ``queue_backend`` overrides the policy's own backend selection
+        # (SimulatorConfig threads it here); None defers to the policy.
+        self.wakeup_queue: AlarmQueue = policy.make_queue(backend=queue_backend)
+        self.nonwakeup_queue: AlarmQueue = policy.make_queue(
+            backend=queue_backend
+        )
 
     def queue_for(self, alarm: Alarm) -> AlarmQueue:
         """The queue an alarm belongs to (wakeup vs non-wakeup)."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
 from ..core.alarm import Alarm, RepeatKind
+from ..core.backend import BACKEND_NAMES
 from ..core.entry import QueueEntry
 from ..core.policy import AlignmentPolicy
 from ..core.units import THREE_HOURS_MS
@@ -53,6 +54,13 @@ class SimulatorConfig:
     ``"record"`` or ``"warn"``.  Being a plain string, the mode is
     digestible, so spec-driven runs (``RunSpec``/``run_many``) can arm it
     through the cache without holding a live object.
+
+    ``queue_backend`` selects the scheduling-kernel storage backend for
+    the run's alarm queues (:data:`~repro.core.backend.BACKEND_NAMES`):
+    ``None`` (default) defers to the policy, which defaults to the
+    paper-faithful ``"list"``.  Backend choice never changes alignment
+    decisions — only their cost — and is part of the RunSpec digest so
+    cached results are keyed by it.
     """
 
     horizon: int = THREE_HOURS_MS
@@ -61,6 +69,7 @@ class SimulatorConfig:
     max_events: Optional[int] = None
     max_stalled_events: int = DEFAULT_MAX_STALLED_EVENTS
     monitor: Optional[str] = None
+    queue_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -72,6 +81,13 @@ class SimulatorConfig:
         if self.monitor is not None and self.monitor not in ON_VIOLATION_MODES:
             raise ValueError(
                 f"monitor must be None or one of {ON_VIOLATION_MODES}"
+            )
+        if (
+            self.queue_backend is not None
+            and self.queue_backend not in BACKEND_NAMES
+        ):
+            raise ValueError(
+                f"queue_backend must be None or one of {list(BACKEND_NAMES)}"
             )
 
 
@@ -129,7 +145,11 @@ class Simulator:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel_enabled = self.telemetry.enabled
         policy.bind_telemetry(self.telemetry)
-        self.manager = AlarmManager(policy, telemetry=self.telemetry)
+        self.manager = AlarmManager(
+            policy,
+            telemetry=self.telemetry,
+            queue_backend=self.config.queue_backend,
+        )
         self.clock = VirtualClock()
         self.device = Device(tail_ms=self.config.tail_ms)
         self.rtc = RealTimeClock(self.config.wake_latency_ms)

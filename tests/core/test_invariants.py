@@ -182,14 +182,15 @@ class TestCheckQueue:
         # real insert() implementations self-heal, so corrupt directly.
         alarm = make_alarm(nominal=50_000, label="dup")
         queue = AlarmQueue(grace_mode=False)
-        queue._entries.append(QueueEntry([alarm]))
-        queue._entries.append(QueueEntry([alarm]))
+        # Reach through the facade into the list backend's storage.
+        queue._backend._entries.append(QueueEntry([alarm]))
+        queue._backend._entries.append(QueueEntry([alarm]))
         violations = check_queue(queue, 0)
         assert DUPLICATE_QUEUED in kinds(violations)
 
     def test_empty_entry_flagged(self):
         queue = self.fill(make_alarm(nominal=50_000))
-        queue._entries.append(QueueEntry())
+        queue._backend._entries.append(QueueEntry())
         assert EMPTY_ENTRY in kinds(check_queue(queue, 0))
 
     def test_out_of_order_entries_flagged(self):
@@ -197,7 +198,7 @@ class TestCheckQueue:
             make_alarm(nominal=50_000, label="a"),
             make_alarm(nominal=80_000, label="b"),
         )
-        queue._entries.reverse()  # corrupt the sort order directly
+        queue._backend._entries.reverse()  # corrupt the sort order directly
         assert QUEUE_ORDER in kinds(check_queue(queue, 0))
 
     def test_entry_algebra_drift_flagged(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.entry import QueueEntry
+from repro.core.intervals import Interval
 from repro.core.queue import AlarmQueue
 
 from ..conftest import make_alarm
@@ -33,7 +34,7 @@ class TestOrdering:
         first, second = list(queue.entries())
         assert first.entry_id < second.entry_id
 
-    def test_resort_after_entry_mutation(self):
+    def test_reindex_after_entry_mutation(self):
         queue = AlarmQueue(grace_mode=False)
         wide = QueueEntry([make_alarm(nominal=3_000, window=3_000)])
         point = QueueEntry([make_alarm(nominal=4_000, window=10)])
@@ -41,10 +42,23 @@ class TestOrdering:
         queue.add_entry(point)
         assert queue.peek() is wide
         # Joining a later alarm narrows the wide entry's window and pushes
-        # its delivery time behind the point entry's.
-        wide.add(make_alarm(nominal=4_500, window=100))
-        queue.resort()
+        # its delivery time behind the point entry's; add_to_entry keeps
+        # the order (and the alarm map) right without any manual resort.
+        joiner = make_alarm(nominal=4_500, window=100)
+        queue.add_to_entry(wide, joiner)
         assert queue.peek() is point
+        assert queue.find_alarm(joiner.alarm_id) is wide
+
+    def test_update_entry_reindexes(self):
+        queue = AlarmQueue(grace_mode=False)
+        first = QueueEntry([make_alarm(nominal=1_000, window=100)])
+        second = QueueEntry([make_alarm(nominal=2_000, window=100)])
+        queue.add_entry(first)
+        queue.add_entry(second)
+        queue.update_entry(
+            first, lambda entry: setattr(entry, "window", Interval(5_000, 5_000))
+        )
+        assert queue.peek() is second
 
 
 class TestMutation:
