@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench paper validate examples clean
+.PHONY: install test bench paper validate examples serve-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,9 @@ paper:
 
 validate:
 	$(PYTHON) -m repro validate
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py --log serve-smoke.log
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the `simty serve` daemon (what CI runs).
+
+Exercises the full operational story in under a minute of wall time:
+
+1. start the daemon on an *accelerated* wall clock with TCP + /metrics +
+   checkpointing enabled;
+2. stream ~100 JSONL requests at it over TCP (registrations, queries,
+   explicit checkpoints — plus a deliberately malformed one that must
+   come back as a structured error, not a hangup);
+3. scrape the Prometheus endpoint and assert the service families are
+   present;
+4. SIGKILL the daemon mid-flight, restart it with --resume, and confirm
+   it picked up the journaled state;
+5. finish with a graceful `shutdown` op and check the process exits 0.
+
+Every daemon stderr line lands in the log file (--log, default
+serve-smoke.log) so CI can upload it as an artifact.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import argparse
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+HORIZON = 10_800_000  # the paper's 3 h standby window
+SPEED = 400           # sim ms per wall ms: the horizon is ~27 s away
+
+
+def request(address, payload, timeout=10.0):
+    """One JSONL request/reply round trip over TCP."""
+    with socket.create_connection(address, timeout=timeout) as conn:
+        conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        with conn.makefile("r", encoding="utf-8") as reader:
+            line = reader.readline()
+    assert line, f"daemon hung up on {payload!r}"
+    return json.loads(line)
+
+
+def start_daemon(checkpoint_dir, log_handle, resume=False):
+    """Spawn `simty serve`, wait for its TCP address in the log.
+
+    Both daemon generations append to one log file, so only the text
+    written after this spawn is searched for addresses.
+    """
+    log_handle.flush()
+    offset = Path(log_handle.name).stat().st_size
+    command = [
+        sys.executable, "-m", "repro.analysis.cli", "serve",
+        "--policy", "simty",
+        "--horizon", str(HORIZON),
+        "--clock", "accelerated", "--speed", str(SPEED),
+        "--tcp", "127.0.0.1:0",
+        "--metrics-port", "0",
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--checkpoint-every", "60000",
+    ]
+    if resume:
+        command.append("--resume")
+    process = subprocess.Popen(
+        command, stdout=subprocess.DEVNULL, stderr=log_handle
+    )
+    log_path = Path(log_handle.name)
+    deadline = time.monotonic() + 30
+    tcp = metrics = None
+    while time.monotonic() < deadline and (tcp is None or metrics is None):
+        text = log_path.read_text(encoding="utf-8")[offset:]
+        tcp_match = re.search(r"tcp://([\d.]+):(\d+)", text)
+        metrics_match = re.search(r"http://([\d.]+):(\d+)/metrics", text)
+        tcp = (tcp_match.group(1), int(tcp_match.group(2))) if tcp_match else None
+        metrics = metrics_match.group(0) if metrics_match else None
+        if process.poll() is not None:
+            raise SystemExit(
+                f"daemon died at startup (rc={process.returncode}); "
+                f"log:\n{text}"
+            )
+        time.sleep(0.05)
+    if tcp is None or metrics is None:
+        process.kill()
+        raise SystemExit("daemon never announced its addresses; see the log")
+    return process, tcp, metrics
+
+
+def register_payload(index):
+    nominal = 300_000 + (index * 97_003) % (HORIZON - 600_000)
+    return {"op": "register", "id": f"reg-{index}", "alarm": {
+        "app": f"app{index % 7}", "label": f"alarm-{index}",
+        "nominal": nominal, "interval": 600_000, "kind": "static",
+        "window": 150_000, "grace": 300_000, "hardware": ["wifi"],
+        "task_ms": 50,
+    }}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--log", default="serve-smoke.log",
+                        help="daemon stderr log (uploaded as a CI artifact)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="total JSONL requests to stream")
+    args = parser.parse_args()
+
+    log_path = Path(args.log)
+    served = 0
+    with tempfile.TemporaryDirectory() as tmp, \
+            log_path.open("w", encoding="utf-8") as log_handle:
+        checkpoint_dir = Path(tmp) / "ckpt"
+
+        # --- phase 1: fresh daemon, first half of the stream ------------
+        process, tcp, metrics_url = start_daemon(checkpoint_dir, log_handle)
+        first_half = args.requests // 2
+        for index in range(first_half):
+            reply = request(tcp, register_payload(index))
+            assert reply["ok"], reply
+            served += 1
+
+        # A malformed request must produce a structured error reply.
+        bad = request(tcp, {"op": "register", "id": "bad", "alarm": {
+            "app": "oops", "nominal": -1}})
+        assert not bad["ok"] and bad["error"]["code"] == "bad-time", bad
+        served += 1
+
+        status = request(tcp, {"op": "query", "id": "q1"})
+        assert status["ok"] and status["result"]["registered"] == first_half
+        served += 1
+
+        with urllib.request.urlopen(metrics_url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+        for family in ("service_requests", "service_queue_depth",
+                       "service_pending_ops"):
+            assert family in body, f"{family} missing from /metrics"
+        print(f"phase 1: {served} requests served, /metrics OK "
+              f"(sim t={status['result']['sim_time_ms']} ms)")
+
+        # --- phase 2: SIGKILL, resume from the journal ------------------
+        assert request(tcp, {"op": "checkpoint", "id": "ck"})["ok"]
+        served += 1
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10)
+        print("phase 2: daemon SIGKILLed; resuming from", checkpoint_dir)
+
+        process, tcp, metrics_url = start_daemon(
+            checkpoint_dir, log_handle, resume=True
+        )
+        status = request(tcp, {"op": "query", "id": "q2"})
+        assert status["ok"], status
+        assert status["result"]["registered"] == first_half, (
+            "resume lost registrations", status)
+        served += 1
+
+        for index in range(first_half, args.requests - 3):
+            reply = request(tcp, register_payload(index))
+            assert reply["ok"], reply
+            served += 1
+
+        with urllib.request.urlopen(metrics_url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+        assert "service_resumes" in body, "resume counter missing"
+
+        # --- phase 3: graceful shutdown ---------------------------------
+        reply = request(tcp, {"op": "shutdown", "id": "bye"}, timeout=30.0)
+        assert reply["ok"], reply
+        served += 1
+        rc = process.wait(timeout=30)
+        assert rc == 0, f"daemon exited {rc} after graceful shutdown"
+        print(f"phase 3: graceful shutdown, exit 0; "
+              f"{served} requests total, log at {log_path}")
+
+
+if __name__ == "__main__":
+    main()

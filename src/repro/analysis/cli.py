@@ -37,7 +37,10 @@ from ..runner import (
     summary_table,
 )
 from ..core.backend import BACKEND_NAMES
+from ..simulator.clock import WALL_CLOCK_MODES
 from ..simulator.engine import SimulatorConfig
+from ..simulator.monitor import ON_VIOLATION_MODES
+from ..workloads.requests import DEFAULT_ADVANCE_EVERY_MS, workload_request_lines
 from ..simulator.events import event_log
 from ..simulator.serialize import load_trace, save_trace
 from ..workloads.scenarios import ScenarioConfig
@@ -246,6 +249,126 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(sweep)
     _add_harness_args(sweep)
     _add_telemetry_args(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run a live alarm-service daemon: line-delimited JSON requests "
+            "over stdio / TCP / Unix socket, with crash/resume checkpoints "
+            "and a scrapeable /metrics endpoint (docs/service.md)"
+        ),
+    )
+    serve.add_argument(
+        "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
+    )
+    _add_backend_arg(serve)
+    serve.add_argument(
+        "--horizon",
+        type=_positive_int,
+        default=None,
+        metavar="MS",
+        help="service horizon in simulated ms (default: 3 h, the paper's)",
+    )
+    serve.add_argument(
+        "--clock",
+        choices=WALL_CLOCK_MODES,
+        default="manual",
+        help=(
+            "wall clock driving the engine: 'manual' (advance ops only), "
+            "'real' (1 ms/ms) or 'accelerated' (--speed sim-ms per wall-ms)"
+        ),
+    )
+    serve.add_argument(
+        "--speed",
+        type=_positive_float,
+        default=60.0,
+        metavar="X",
+        help="accelerated-clock factor (default 60: 1 s wall = 1 min sim)",
+    )
+    serve.add_argument(
+        "--monitor",
+        choices=("off",) + ON_VIOLATION_MODES,
+        default="record",
+        help="invariant monitor mode on the live path (default: record)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="directory for the crash/resume journal (off when omitted)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=60_000,
+        metavar="MS",
+        help="simulated ms between automatic journal watermarks",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint journal instead of starting fresh",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="also serve the protocol on a TCP socket (port 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="also serve the protocol on a Unix socket",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text at http://127.0.0.1:PORT/metrics",
+    )
+    serve.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="after a draining shutdown, write the sealed trace as JSON",
+    )
+
+    requests_cmd = sub.add_parser(
+        "requests",
+        help=(
+            "compile a workload into the JSONL request stream `simty serve` "
+            "accepts (registrations + churn + advance ops + drain)"
+        ),
+    )
+    _add_workload_arg(requests_cmd)
+    requests_cmd.add_argument("--beta", type=float, default=None)
+    requests_cmd.add_argument(
+        "--advance-every",
+        type=_positive_int,
+        default=DEFAULT_ADVANCE_EVERY_MS,
+        metavar="MS",
+        help="spacing of interleaved advance ops (simulated ms)",
+    )
+    requests_cmd.add_argument(
+        "--checkpoint-every-ops",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="insert an explicit checkpoint op after every N mutations",
+    )
+    requests_cmd.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="end with a non-draining shutdown (leave the horizon unreached)",
+    )
+    requests_cmd.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the stream to a file instead of stdout",
+    )
     return parser
 
 
@@ -611,6 +734,117 @@ def _command_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from ..core.units import THREE_HOURS_MS
+    from ..service import (
+        AlarmService,
+        MetricsServer,
+        ServiceConfig,
+        SocketServer,
+        Ticker,
+        serve_stdio,
+    )
+
+    config = ServiceConfig(
+        policy=args.policy,
+        horizon=args.horizon if args.horizon is not None else THREE_HOURS_MS,
+        queue_backend=args.queue_backend,
+        monitor=None if args.monitor == "off" else args.monitor,
+        clock=args.clock,
+        speed=args.speed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_ms=args.checkpoint_every,
+    )
+    if args.resume:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        service = AlarmService.resume(config)
+        print(
+            f"resumed {config.policy.upper()} at sim t={service.simulator.now} ms "
+            f"({len(service.journal)} journal entries)",
+            file=sys.stderr,
+        )
+    else:
+        service = AlarmService(config)
+        print(
+            f"serving {config.policy.upper()} to horizon "
+            f"{config.horizon} ms on a {config.clock} clock",
+            file=sys.stderr,
+        )
+
+    metrics = None
+    if args.metrics_port is not None:
+        metrics = MetricsServer(service, port=args.metrics_port).start()
+        host, port = metrics.address
+        print(f"metrics at http://{host}:{port}/metrics", file=sys.stderr)
+
+    ticker = None
+    if config.clock != "manual":
+        ticker = Ticker(service).start()
+
+    socket_server = None
+    try:
+        if args.tcp is not None or args.unix_socket is not None:
+            if args.tcp is not None:
+                host, _, port_text = args.tcp.rpartition(":")
+                socket_server = SocketServer(
+                    service, tcp=(host or "127.0.0.1", int(port_text))
+                ).start()
+                bound_host, bound_port = socket_server.address
+                print(
+                    f"listening on tcp://{bound_host}:{bound_port}",
+                    file=sys.stderr,
+                )
+            else:
+                socket_server = SocketServer(
+                    service, unix_path=args.unix_socket
+                ).start()
+                print(f"listening on unix://{args.unix_socket}", file=sys.stderr)
+            socket_server.wait()
+        else:
+            handled = serve_stdio(service, sys.stdin, sys.stdout)
+            print(f"served {handled} request(s)", file=sys.stderr)
+    finally:
+        if ticker is not None:
+            ticker.stop()
+        if socket_server is not None:
+            socket_server.close()
+        if metrics is not None:
+            metrics.close()
+    if args.save_trace:
+        if service.trace is None:
+            print(
+                "no sealed trace (shutdown was not a drain); nothing saved",
+                file=sys.stderr,
+            )
+        else:
+            save_trace(service.trace, args.save_trace)
+            print(f"trace written to {args.save_trace}", file=sys.stderr)
+    return 0
+
+
+def _command_requests(args: argparse.Namespace) -> int:
+    builder = WORKLOAD_BUILDERS[args.workload]
+    workload = builder(_scenario_config(args.beta))
+    lines = workload_request_lines(
+        workload,
+        advance_every_ms=args.advance_every,
+        drain=not args.no_drain,
+        checkpoint_every=args.checkpoint_every_ops,
+    )
+    if args.out:
+        count = 0
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+                count += 1
+        print(f"{count} request(s) written to {args.out}", file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 _COMMANDS = {
     "paper": _command_paper,
     "inspect": _command_inspect,
@@ -620,6 +854,8 @@ _COMMANDS = {
     "compare": _command_compare,
     "profile": _command_profile,
     "sweep": _command_sweep,
+    "serve": _command_serve,
+    "requests": _command_requests,
 }
 
 

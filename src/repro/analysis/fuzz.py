@@ -20,7 +20,12 @@ case:
 * **backend** — every policy run is repeated on the ``indexed`` queue
   backend (:mod:`repro.core.backend`) and its serialized trace must be
   byte-identical to the reference ``list`` backend's: backend choice may
-  change the cost of a decision, never the decision.
+  change the cost of a decision, never the decision;
+* **stepping** — every policy run is repeated through the incremental
+  stepping core (``start()``/``step()``/``finish()`` — the loop the live
+  ``simty serve`` daemon drives) and must again serialize byte-identically
+  to the reference batch ``run()``: how the engine is *driven* may never
+  change what it computes.
 
 Any failing case is automatically *shrunk* — alarms, churn operations and
 externals are greedily removed while the failure reproduces — and rendered
@@ -63,6 +68,10 @@ POLICY_NAMES = ("native", "simty")
 #: Queue backends each policy run is differentially compared across: the
 #: first entry is the reference whose outcome feeds the other detectors.
 BACKEND_AXIS = (DEFAULT_BACKEND, "indexed")
+
+#: Engine drivers each policy run is differentially compared across: the
+#: batch ``run()`` is the reference; ``step`` drives the incremental core.
+DRIVER_AXIS = ("run", "step")
 
 _KINDS = {
     "static": RepeatKind.STATIC,
@@ -292,7 +301,7 @@ class PolicyOutcome:
 class Failure:
     """One detector firing on one case."""
 
-    kind: str  # "invariant" | "oracle" | "differential" | "backend" | "crash"
+    kind: str  # "invariant"|"oracle"|"differential"|"backend"|"stepping"|"crash"
     detail: str
 
 
@@ -311,8 +320,23 @@ def _make_policy(name: str):
     return NativePolicy() if name == "native" else SimtyPolicy()
 
 
+def _drive(simulator: Simulator, driver: str):
+    """Run a prepared simulator to completion via the requested driver."""
+    if driver == "run":
+        return simulator.run()
+    if driver == "step":
+        simulator.start()
+        while simulator.step() is not None:
+            pass
+        return simulator.finish()
+    raise ValueError(f"unknown driver {driver!r}; choose from {DRIVER_AXIS}")
+
+
 def _run_policy(
-    case: FuzzCase, policy_name: str, queue_backend: str = DEFAULT_BACKEND
+    case: FuzzCase,
+    policy_name: str,
+    queue_backend: str = DEFAULT_BACKEND,
+    driver: str = "run",
 ) -> PolicyOutcome:
     outcome = PolicyOutcome(policy=policy_name)
     config = SimulatorConfig(
@@ -350,7 +374,7 @@ def _run_policy(
                 )
             else:
                 raise ValueError(f"unknown churn op {op.op!r}")
-        trace = simulator.run()
+        trace = _drive(simulator, driver)
     except Exception as error:  # noqa: BLE001 - a crash IS a finding
         outcome.error = f"{type(error).__name__}: {error}"
         return outcome
@@ -407,6 +431,31 @@ def run_case(case: FuzzCase) -> CaseOutcome:
                         detail=(
                             f"{name}: serialized traces diverge between the "
                             f"{BACKEND_AXIS[0]} and {backend} backends"
+                        ),
+                    )
+                )
+    for name, reference in outcomes.items():
+        for driver in DRIVER_AXIS[1:]:
+            rerun = _run_policy(case, name, driver=driver)
+            if rerun.error is not None:
+                if reference.error is None:
+                    failures.append(
+                        Failure(
+                            kind="stepping",
+                            detail=(
+                                f"{name}: {driver} driver crashed where "
+                                f"{DRIVER_AXIS[0]} did not: {rerun.error}"
+                            ),
+                        )
+                    )
+                continue
+            if reference.error is None and rerun.trace_json != reference.trace_json:
+                failures.append(
+                    Failure(
+                        kind="stepping",
+                        detail=(
+                            f"{name}: serialized traces diverge between the "
+                            f"{DRIVER_AXIS[0]} and {driver} drivers"
                         ),
                     )
                 )
@@ -583,6 +632,7 @@ class FuzzReport:
     oracle_divergences: int = 0
     differential_divergences: int = 0
     backend_divergences: int = 0
+    stepping_divergences: int = 0
     crashes: int = 0
 
     @property
@@ -593,11 +643,13 @@ class FuzzReport:
         lines = [
             f"fuzz: {self.cases_run} cases in {self.elapsed_s:.1f}s "
             f"(seed {self.seed}, policies {'/'.join(POLICY_NAMES)}, "
-            f"backends {'/'.join(BACKEND_AXIS)})",
+            f"backends {'/'.join(BACKEND_AXIS)}, "
+            f"drivers {'/'.join(DRIVER_AXIS)})",
             f"  invariant violations:     {self.violation_total}",
             f"  oracle divergences:       {self.oracle_divergences}",
             f"  differential divergences: {self.differential_divergences}",
             f"  backend divergences:      {self.backend_divergences}",
+            f"  stepping divergences:     {self.stepping_divergences}",
             f"  crashes:                  {self.crashes}",
         ]
         if self.ok:
@@ -642,6 +694,8 @@ def fuzz(
                 report.differential_divergences += 1
             elif failure.kind == "backend":
                 report.backend_divergences += 1
+            elif failure.kind == "stepping":
+                report.stepping_divergences += 1
             else:
                 report.crashes += 1
         if not outcome.ok:

@@ -1,0 +1,54 @@
+"""Live alarm-service mode: a daemon on top of the stepping core.
+
+The batch pipeline answers "what would this policy have done" after the
+fact; this package runs the same engine *online*.  ``simty serve`` boots
+an :class:`AlarmService` — a started :class:`~repro.simulator.engine.
+Simulator` plus a wall clock, a crash/resume journal and a telemetry
+hub — and exposes it through line-delimited JSON over stdio, TCP or a
+Unix socket, with Prometheus metrics scrapeable over HTTP.
+
+See ``docs/service.md`` for the protocol, clock modes and the
+checkpoint/resume contract.
+"""
+
+from .daemon import AlarmService, ServiceConfig
+from .journal import MUTATION_KINDS, SERVICE_JOURNAL_NAME, ServiceJournal
+from .metrics import MetricsServer
+from .protocol import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    error_reply,
+    format_reply,
+    ok_reply,
+    parse_line,
+    validated_alarm_spec,
+    validated_op,
+    validated_target,
+    validated_time,
+)
+from .transport import SocketServer, Ticker, request_once, serve_stdio
+
+__all__ = [
+    "AlarmService",
+    "ServiceConfig",
+    "ServiceJournal",
+    "SERVICE_JOURNAL_NAME",
+    "MUTATION_KINDS",
+    "MetricsServer",
+    "SocketServer",
+    "Ticker",
+    "serve_stdio",
+    "request_once",
+    "ProtocolError",
+    "OPS",
+    "ERROR_CODES",
+    "ok_reply",
+    "error_reply",
+    "format_reply",
+    "parse_line",
+    "validated_op",
+    "validated_time",
+    "validated_alarm_spec",
+    "validated_target",
+]

@@ -1,0 +1,462 @@
+"""The alarm-service daemon: a live wrapper around the stepping core.
+
+Where every other entry point in the repo is batch (``Simulator.run()``
+drains a pre-declared spec), :class:`AlarmService` is *online*: it holds a
+started engine, accepts ``register``/``cancel``/``reanchor`` requests
+while the engine is mid-flight, and advances the engine as its injected
+wall clock (:mod:`repro.simulator.clock`) moves — the role the paper's
+SIMTY policy plays inside the OS alarm service it was built for.
+
+Durability is event-sourced through :class:`~repro.service.journal.
+ServiceJournal`: every accepted mutation is fsync'd with its effective
+simulation time before the reply is sent, so a SIGKILL'd daemon resumes
+by replaying the journal through a fresh deterministic engine
+(:meth:`AlarmService.resume`) and produces the exact trace an
+uninterrupted run would have.
+
+Thread safety: every public entry point takes the service lock, so one
+service instance can be shared by the socket transport's handler threads,
+the background ticker and the ``/metrics`` scrape handler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.units import THREE_HOURS_MS
+from ..obs.exporters import prometheus_text
+from ..obs.telemetry import Telemetry
+from ..runner.registry import DEFAULT_REGISTRY
+from ..simulator.clock import WALL_CLOCK_MODES, ManualWallClock, make_wall_clock
+from ..simulator.engine import Simulator, SimulatorConfig
+from ..simulator.monitor import ON_VIOLATION_MODES
+from ..simulator.serialize import alarm_from_dict, alarm_to_dict
+from ..simulator.trace import SimulationTrace
+from .journal import ServiceJournal
+from .protocol import (
+    ProtocolError,
+    error_reply,
+    ok_reply,
+    parse_line,
+    validated_alarm_spec,
+    validated_op,
+    validated_target,
+    validated_time,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to boot (or resume) one daemon.
+
+    ``monitor`` defaults to ``"record"`` — the live path runs with the
+    invariant monitor armed, so a policy bug surfaces as structured
+    violations in ``query`` replies instead of silently corrupt traffic.
+    ``checkpoint_every_ms`` is the simulation-time distance between
+    automatic journal watermarks (``None`` disables the automatic ones;
+    explicit ``checkpoint`` ops always work).
+    """
+
+    policy: str = "simty"
+    horizon: int = THREE_HOURS_MS
+    queue_backend: Optional[str] = None
+    monitor: Optional[str] = "record"
+    clock: str = "manual"
+    speed: float = 60.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_ms: Optional[int] = 60_000
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.clock not in WALL_CLOCK_MODES:
+            raise ValueError(
+                f"clock must be one of {WALL_CLOCK_MODES}, got {self.clock!r}"
+            )
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.monitor is not None and self.monitor not in ON_VIOLATION_MODES:
+            raise ValueError(
+                f"monitor must be None or one of {ON_VIOLATION_MODES}"
+            )
+        if self.checkpoint_every_ms is not None and self.checkpoint_every_ms <= 0:
+            raise ValueError("checkpoint_every_ms must be positive (or None)")
+
+
+class AlarmService:
+    """One live alarm service: engine, wall clock, journal, telemetry.
+
+    Build a fresh daemon with :meth:`fresh` (truncates any stale journal)
+    or revive a crashed one with :meth:`resume` (replays the journal).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        *,
+        _journal: Optional[ServiceJournal] = None,
+        _resume: bool = False,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._lock = threading.RLock()
+        policy = DEFAULT_REGISTRY.create_policy(self.config.policy)
+        self.simulator = Simulator(
+            policy,
+            config=SimulatorConfig(
+                horizon=self.config.horizon,
+                monitor=self.config.monitor,
+                queue_backend=self.config.queue_backend,
+                live=True,
+            ),
+            telemetry=self.telemetry,
+        )
+        self._alarms: Dict[int, Any] = {}
+        self._labels: Dict[str, int] = {}
+        self._next_alarm_id = 1
+        self._closed = False
+        self._drained_trace: Optional[SimulationTrace] = None
+        self._last_watermark = 0
+
+        if _journal is None and self.config.checkpoint_dir is not None:
+            _journal = ServiceJournal.at(self.config.checkpoint_dir)
+            if not _resume:
+                _journal.reset()
+        self.journal = _journal
+
+        self.simulator.start()
+        if _resume:
+            self._replay()
+        elif self.journal is not None:
+            self.journal.append(
+                {
+                    "kind": "config",
+                    "policy": self.config.policy,
+                    "horizon": self.config.horizon,
+                    "queue_backend": self.config.queue_backend,
+                    "monitor": self.config.monitor,
+                }
+            )
+        self.wall = make_wall_clock(
+            self.config.clock, self.config.speed, start_ms=self._last_watermark
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(
+        cls,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "AlarmService":
+        """A brand-new daemon; any stale journal in the dir is truncated."""
+        return cls(config, telemetry)
+
+    @classmethod
+    def resume(
+        cls,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "AlarmService":
+        """Revive a crashed daemon from its checkpoint journal.
+
+        The journal's config header must match ``config`` — replaying a
+        SIMTY journal through NATIVE would succeed into garbage.
+        """
+        config = config or ServiceConfig()
+        if config.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
+        journal = ServiceJournal.at(config.checkpoint_dir)
+        header = journal.config_entry()
+        if header is None:
+            raise ValueError(
+                f"no config header in {journal.path}; nothing to resume"
+            )
+        for key in ("policy", "horizon", "queue_backend", "monitor"):
+            if header.get(key) != getattr(config, key):
+                raise ValueError(
+                    f"journal was written by a daemon with {key}="
+                    f"{header.get(key)!r}, cannot resume with "
+                    f"{getattr(config, key)!r}"
+                )
+        return cls(config, telemetry, _journal=journal, _resume=True)
+
+    def _replay(self) -> None:
+        """Re-apply every journaled mutation, then advance to the last
+        watermark — the deterministic engine reproduces the crashed
+        daemon's state (and its whole trace) exactly."""
+        assert self.journal is not None
+        for entry in self.journal.entries:
+            kind = entry.get("kind")
+            if kind == "register":
+                alarm = alarm_from_dict(entry["alarm"])
+                self.simulator.add_alarm(alarm, entry["t"])
+                self._alarms[alarm.alarm_id] = alarm
+                self._labels[alarm.label] = alarm.alarm_id
+                self._next_alarm_id = max(self._next_alarm_id, alarm.alarm_id + 1)
+            elif kind == "cancel":
+                self.simulator.cancel_alarm(
+                    self._alarms[entry["alarm_id"]], entry["t"]
+                )
+            elif kind == "reanchor":
+                self.simulator.reregister_alarm(
+                    self._alarms[entry["alarm_id"]],
+                    entry["t"],
+                    nominal_offset=entry.get("nominal_offset"),
+                )
+        self._last_watermark = self.journal.last_watermark()
+        self.simulator.advance_to(self._last_watermark)
+        self.telemetry.count("service.resumes")
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Advance the engine to the wall clock's current position.
+
+        Returns the number of dispatch iterations executed.  Called by
+        transports before each request and by the background ticker for
+        real/accelerated clocks.  Crossing ``checkpoint_every_ms`` of
+        simulation time since the last watermark journals a new one.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            target = min(self.wall.now_ms(), self.config.horizon)
+            if target <= self.simulator.now:
+                return 0
+            processed = self.simulator.advance_to(target)
+            every = self.config.checkpoint_every_ms
+            if (
+                self.journal is not None
+                and every is not None
+                and self.simulator.now - self._last_watermark >= every
+            ):
+                self._watermark()
+            self._observe_depth()
+            return processed
+
+    def _watermark(self) -> float:
+        """Journal "the engine reached t"; returns the fsync latency in ms."""
+        started = time.perf_counter()
+        if self.journal is not None:
+            self.journal.append({"kind": "watermark", "t": self.simulator.now})
+        latency_ms = (time.perf_counter() - started) * 1_000.0
+        self._last_watermark = self.simulator.now
+        self.telemetry.observe("service.checkpoint_latency_ms", latency_ms)
+        return latency_ms
+
+    def _observe_depth(self) -> None:
+        self.telemetry.gauge(
+            "service.queue_depth", self.simulator.manager.pending_alarm_count()
+        )
+        self.telemetry.gauge(
+            "service.pending_ops", self.simulator.pending_op_count
+        )
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> Dict:
+        """Process one raw request line into one reply dict."""
+        try:
+            payload = parse_line(line)
+        except ProtocolError as error:
+            self._count_request("?", "rejected", error.code)
+            return error_reply(None, error.code, error.message)
+        return self.handle_request(payload)
+
+    def handle_request(self, payload: Dict) -> Dict:
+        request_id = payload.get("id")
+        op = "?"
+        try:
+            with self._lock:
+                op = validated_op(payload)
+                if self._closed:
+                    raise ProtocolError(
+                        "shutting-down", "the service is shutting down"
+                    )
+                with self.telemetry.span("service.request", op=op):
+                    result = self._dispatch(op, payload)
+        except ProtocolError as error:
+            self._count_request(op, "rejected", error.code)
+            return error_reply(request_id, error.code, error.message)
+        except Exception as error:  # noqa: BLE001 - boundary: reply, don't die
+            self._count_request(op, "rejected", "engine-error")
+            return error_reply(
+                request_id, "engine-error", f"{type(error).__name__}: {error}"
+            )
+        self._count_request(op, "accepted")
+        return ok_reply(request_id, **result)
+
+    def _count_request(self, op: str, outcome: str, code: str = "") -> None:
+        labels = {"op": op, "outcome": outcome}
+        if code:
+            labels["code"] = code
+        self.telemetry.count("service.requests", **labels)
+
+    def _dispatch(self, op: str, payload: Dict) -> Dict:
+        handler = getattr(self, f"_op_{op}")
+        return handler(payload)
+
+    def _effective_time(self, payload: Dict) -> int:
+        """The sim time an op takes effect: ``at`` or "now", never past.
+
+        "Past" is judged against the *wall* clock, not the engine clock:
+        dispatching an instant legitimately drags the engine a few ms
+        beyond it (wake latency, task execution), and an op at the wall
+        position is still current — the engine catches it up at the next
+        step exactly as batch mode handles a pre-declared op behind a
+        drifted clock.
+        """
+        now = min(self.wall.now_ms(), self.config.horizon)
+        at = validated_time(
+            payload, "at", horizon=self.config.horizon, default=min(
+                now, self.config.horizon - 1
+            )
+        )
+        if at < now:
+            raise ProtocolError(
+                "bad-time",
+                f"at={at} is in the past; the service clock is at {now}",
+            )
+        return at
+
+    def _op_register(self, payload: Dict) -> Dict:
+        spec = validated_alarm_spec(payload, self.config.horizon)
+        at = self._effective_time(payload)
+        alarm_id = self._next_alarm_id
+        self._next_alarm_id += 1
+        alarm = alarm_from_dict(dict(spec, alarm_id=alarm_id))
+        self.simulator.add_alarm(alarm, at)
+        self._alarms[alarm_id] = alarm
+        self._labels[alarm.label] = alarm_id
+        if self.journal is not None:
+            self.journal.append(
+                {"kind": "register", "t": at, "alarm": alarm_to_dict(alarm)}
+            )
+        self._observe_depth()
+        return {"alarm_id": alarm_id, "label": alarm.label, "at": at}
+
+    def _resolve_target(self, payload: Dict) -> int:
+        target = validated_target(payload)
+        if "alarm_id" in target:
+            alarm_id = target["alarm_id"]
+            if alarm_id not in self._alarms:
+                raise ProtocolError(
+                    "unknown-alarm", f"no alarm with id {alarm_id}"
+                )
+            return alarm_id
+        label = target["label"]
+        if label not in self._labels:
+            raise ProtocolError("unknown-alarm", f"no alarm labelled {label!r}")
+        return self._labels[label]
+
+    def _op_cancel(self, payload: Dict) -> Dict:
+        alarm_id = self._resolve_target(payload)
+        at = self._effective_time(payload)
+        self.simulator.cancel_alarm(self._alarms[alarm_id], at)
+        if self.journal is not None:
+            self.journal.append({"kind": "cancel", "t": at, "alarm_id": alarm_id})
+        self._observe_depth()
+        return {"alarm_id": alarm_id, "at": at}
+
+    def _op_reanchor(self, payload: Dict) -> Dict:
+        alarm_id = self._resolve_target(payload)
+        at = self._effective_time(payload)
+        offset = validated_time(payload, "nominal_offset", default=None)
+        self.simulator.reregister_alarm(
+            self._alarms[alarm_id], at, nominal_offset=offset
+        )
+        if self.journal is not None:
+            entry = {"kind": "reanchor", "t": at, "alarm_id": alarm_id}
+            if offset is not None:
+                entry["nominal_offset"] = offset
+            self.journal.append(entry)
+        self._observe_depth()
+        return {"alarm_id": alarm_id, "at": at, "nominal_offset": offset}
+
+    def _op_query(self, payload: Dict) -> Dict:
+        simulator = self.simulator
+        monitor = simulator.monitor
+        return {
+            "policy": self.config.policy,
+            "clock": self.config.clock,
+            "sim_time_ms": simulator.now,
+            "horizon_ms": self.config.horizon,
+            "queue_depth": simulator.manager.pending_alarm_count(),
+            "registered": len(self._alarms),
+            "batches_delivered": len(simulator.trace.batches),
+            "deliveries": simulator.trace.delivery_count(),
+            "next_event_ms": simulator.next_event_time(),
+            "violations": len(monitor.violations) if monitor is not None else None,
+            "journal_entries": len(self.journal) if self.journal is not None else 0,
+        }
+
+    def _op_advance(self, payload: Dict) -> Dict:
+        if not isinstance(self.wall, ManualWallClock):
+            raise ProtocolError(
+                "clock-mode",
+                f"advance is only valid on a manual wall clock, not "
+                f"{self.config.clock!r}",
+            )
+        to = validated_time(payload, "to", required=True)
+        if to < self.wall.now_ms():
+            raise ProtocolError(
+                "bad-time",
+                f"to={to} is behind the wall clock ({self.wall.now_ms()})",
+            )
+        self.wall.advance_to(to)
+        # The lock is re-entrant, so ticking inside the request is safe.
+        processed = self.tick()
+        if self.journal is not None:
+            self._watermark()
+        return {"sim_time_ms": self.simulator.now, "processed": processed}
+
+    def _op_checkpoint(self, payload: Dict) -> Dict:
+        latency_ms = self._watermark()
+        return {
+            "sim_time_ms": self.simulator.now,
+            "latency_ms": latency_ms,
+            "journal_entries": len(self.journal)
+            if self.journal is not None
+            else 0,
+            "journal_path": str(self.journal.path)
+            if self.journal is not None
+            else None,
+        }
+
+    def _op_shutdown(self, payload: Dict) -> Dict:
+        drain = bool(payload.get("drain", False))
+        if drain:
+            self._drained_trace = self.simulator.drain()
+        self._watermark()
+        self._closed = True
+        return {
+            "sim_time_ms": self.simulator.now,
+            "drained": drain,
+            "batches_delivered": len(self.simulator.trace.batches),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def trace(self) -> Optional[SimulationTrace]:
+        """The sealed trace, once a draining shutdown ran."""
+        return self._drained_trace
+
+    def render_metrics(self) -> str:
+        """A Prometheus text snapshot, taken under the service lock."""
+        with self._lock:
+            return prometheus_text(self.telemetry)

@@ -1,0 +1,125 @@
+"""The service journal: crash/resume persistence for the live daemon.
+
+The daemon's durable state is an *event-sourced* log, following the same
+append-only, fsync-per-line, torn-tail-tolerant discipline as the sweep
+checkpoint journal (:class:`repro.runner.journal.RunJournal`).  Because
+the engine is deterministic, the journal does not need to snapshot queue
+internals: replaying the accepted mutations at their recorded simulation
+times through a fresh engine reproduces the exact engine + queue + policy
+state — and the exact trace — of the crashed process.
+
+Entry kinds (one JSON object per line):
+
+``config``
+    Written once at daemon birth: policy, horizon, queue backend,
+    monitor mode.  Resume refuses a journal whose config does not match —
+    replaying SIMTY requests through NATIVE would "succeed" into garbage.
+``register`` / ``cancel`` / ``reanchor``
+    One accepted mutation, with its *effective* simulation time ``t`` and
+    (for register) the full registration-time alarm attributes from
+    :func:`repro.simulator.serialize.alarm_to_dict`.
+``watermark``
+    "The engine had advanced to ``t``": written by checkpoints, by
+    ``advance`` ops and periodically by the ticker.  Resume replays the
+    mutations and advances the fresh engine to the last watermark.
+
+A crash mid-write corrupts at most the final line, which :meth:`load`
+skips — exactly the RunJournal guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: File name used when a journal is derived from a checkpoint directory.
+SERVICE_JOURNAL_NAME = "service.journal.jsonl"
+
+#: Entry kinds that mutate engine state and are replayed on resume.
+MUTATION_KINDS = ("register", "cancel", "reanchor")
+
+
+class ServiceJournal:
+    """Append-only, fsync'd log of the daemon's accepted mutations."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: List[Dict] = []
+        self.load()
+
+    @classmethod
+    def at(cls, checkpoint_dir: Union[str, Path]) -> "ServiceJournal":
+        return cls(Path(checkpoint_dir) / SERVICE_JOURNAL_NAME)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """(Re)read the journal from disk, skipping torn trailing lines."""
+        self._entries.clear()
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    kind = entry["kind"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn or foreign line
+                if not isinstance(kind, str):
+                    continue
+                self._entries.append(entry)
+
+    def append(self, entry: Dict) -> None:
+        """Durably append one entry (fsync before returning)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries.append(entry)
+
+    def reset(self) -> None:
+        """Start a fresh journal (non-resume daemon birth)."""
+        self._entries.clear()
+        if self.path.exists():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> List[Dict]:
+        return list(self._entries)
+
+    def config_entry(self) -> Optional[Dict]:
+        for entry in self._entries:
+            if entry.get("kind") == "config":
+                return entry
+        return None
+
+    def mutations(self) -> List[Dict]:
+        return [
+            entry
+            for entry in self._entries
+            if entry.get("kind") in MUTATION_KINDS
+        ]
+
+    def last_watermark(self) -> int:
+        """The furthest simulation time the journal proves was reached."""
+        watermark = 0
+        for entry in self._entries:
+            if entry.get("kind") == "watermark":
+                watermark = max(watermark, int(entry.get("t", 0)))
+        return watermark
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceJournal({str(self.path)!r}, entries={len(self._entries)})"

@@ -1,0 +1,70 @@
+"""A scrapeable ``/metrics`` endpoint for the live daemon.
+
+The batch pipeline renders Prometheus text once, after the run
+(:func:`repro.obs.exporters.prometheus_text`); the daemon is long-lived,
+so the same exposition format is served over HTTP instead — point a
+Prometheus scrape job (or ``curl``) at ``http://host:port/metrics`` and
+watch ``service_requests``, ``service_queue_depth`` and
+``service_checkpoint_latency_ms`` move while the daemon runs.
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` on a daemon
+thread, rendering snapshots under the service lock so a scrape never
+observes a half-applied request.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .daemon import AlarmService
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service: AlarmService = self.server.service  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        body = service.render_metrics().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        return None  # scrapes are high-frequency noise; stay quiet
+
+
+class MetricsServer:
+    """Serve the daemon's telemetry at ``GET /metrics``."""
+
+    def __init__(self, service: AlarmService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._server.daemon_threads = True
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — pass port 0 to let the OS pick."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="simty-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

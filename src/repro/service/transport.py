@@ -1,0 +1,176 @@
+"""Transports for the alarm-service daemon.
+
+One protocol, three front doors:
+
+* :func:`serve_stdio` — read requests from a text stream, write replies
+  to another (the ``simty serve`` default; also what tests and the CI
+  smoke drive through a pipe);
+* :class:`SocketServer` — the same line protocol over TCP or a Unix
+  socket, one thread per connection, all funnelled through the one
+  locked :class:`~repro.service.daemon.AlarmService`;
+* :class:`Ticker` — a background thread that advances the engine on a
+  real or accelerated wall clock even when no requests arrive (a manual
+  clock never needs one: ``advance`` ops are its only source of time).
+
+Every transport is a thin loop around ``service.handle_line`` — the
+daemon owns all state and locking, so mixing transports (say, a Unix
+socket plus the metrics endpoint plus a ticker) is safe by construction.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import IO, Optional, Tuple
+
+from .daemon import AlarmService
+from .protocol import format_reply
+
+
+def serve_stdio(service: AlarmService, stdin: IO[str], stdout: IO[str]) -> int:
+    """Serve line-delimited requests from ``stdin`` until EOF or shutdown.
+
+    Returns the number of requests processed.  Each request line gets
+    exactly one reply line, flushed immediately so pipe-driven clients
+    can run request/reply lockstep.
+    """
+    handled = 0
+    for line in stdin:
+        if not line.strip():
+            continue
+        service.tick()
+        reply = service.handle_line(line)
+        stdout.write(format_reply(reply) + "\n")
+        stdout.flush()
+        handled += 1
+        if service.closed:
+            break
+    return handled
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: AlarmService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            service.tick()
+            reply = service.handle_line(line)
+            self.wfile.write((format_reply(reply) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if service.closed:
+                self.server.shutdown_event.set()  # type: ignore[attr-defined]
+                break
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+
+
+class SocketServer:
+    """The line protocol over TCP (``host:port``) or a Unix socket path.
+
+    The server thread runs as a daemon; :meth:`wait` blocks until a
+    client's ``shutdown`` op lands (or the optional timeout elapses),
+    then :meth:`close` tears the listener down.
+    """
+
+    def __init__(
+        self,
+        service: AlarmService,
+        *,
+        tcp: Optional[Tuple[str, int]] = None,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        if (tcp is None) == (unix_path is None):
+            raise ValueError("exactly one of tcp=(host, port) or unix_path")
+        if tcp is not None:
+            self._server = _TCPServer(tcp, _LineHandler)
+        else:
+            self._server = _UnixServer(unix_path, _LineHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._server.shutdown_event = threading.Event()  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="simty-serve", daemon=True
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful when port 0 was requested."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "SocketServer":
+        self._thread.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown op arrives; True if it did."""
+        return self._server.shutdown_event.wait(timeout)  # type: ignore[attr-defined]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "SocketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def request_once(address: Tuple[str, int], line: str, timeout: float = 10.0) -> str:
+    """Send one request line over TCP and return the raw reply line.
+
+    A convenience for tests and smoke scripts; real clients hold one
+    connection open and stream.
+    """
+    with socket.create_connection(address, timeout=timeout) as conn:
+        conn.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+        with conn.makefile("r", encoding="utf-8") as reader:
+            return reader.readline().rstrip("\n")
+
+
+class Ticker:
+    """Advance the engine periodically while a real clock is running.
+
+    Without a ticker, a socket daemon on a real/accelerated clock would
+    only make progress when requests happen to arrive; with one, alarms
+    fire on time even over a quiet connection.
+    """
+
+    def __init__(self, service: AlarmService, interval_s: float = 0.05) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self._service = service
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="simty-ticker", daemon=True
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if self._service.closed:
+                break
+            self._service.tick()
+
+    def start(self) -> "Ticker":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Ticker":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

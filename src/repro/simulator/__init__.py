@@ -11,7 +11,15 @@ from .android_api import (
     DEFAULT_GRACE_FRACTION,
     AndroidAlarmManagerFacade,
 )
-from .clock import VirtualClock
+from .clock import (
+    WALL_CLOCK_MODES,
+    AcceleratedWallClock,
+    ManualWallClock,
+    SystemWallClock,
+    VirtualClock,
+    WallClock,
+    make_wall_clock,
+)
 from .device import DEFAULT_TAIL_MS, Device, WakeReason, WakeSession
 from .engine import (
     DEFAULT_MAX_STALLED_EVENTS,
@@ -24,7 +32,14 @@ from .events import Event, EventKind, event_log
 from .external import ExternalWake, poisson_wakes, schedule
 from .monitor import ON_VIOLATION_MODES, InvariantMonitor, InvariantViolationError
 from .rtc import DEFAULT_WAKE_LATENCY_MS, RealTimeClock
-from .serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from .serialize import (
+    alarm_from_dict,
+    alarm_to_dict,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
 from .tasks import TaskExecution, component_hold_times, schedule_batch_tasks
 from .trace import (
     AlarmDeliveryRecord,
@@ -41,6 +56,12 @@ __all__ = [
     "ANDROID_DEFAULT_ALPHA",
     "DEFAULT_GRACE_FRACTION",
     "VirtualClock",
+    "WallClock",
+    "SystemWallClock",
+    "AcceleratedWallClock",
+    "ManualWallClock",
+    "WALL_CLOCK_MODES",
+    "make_wall_clock",
     "Device",
     "WakeReason",
     "WakeSession",
@@ -61,6 +82,8 @@ __all__ = [
     "ON_VIOLATION_MODES",
     "RealTimeClock",
     "DEFAULT_WAKE_LATENCY_MS",
+    "alarm_from_dict",
+    "alarm_to_dict",
     "load_trace",
     "save_trace",
     "trace_from_dict",

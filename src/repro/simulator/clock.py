@@ -1,10 +1,133 @@
-"""Virtual simulation clock.
+"""Simulation clocks.
 
-Time is integer milliseconds from the start of the run.  The clock only
-moves forward; the engine is responsible for choosing the next instant.
+:class:`VirtualClock` is the engine's own notion of time: integer
+milliseconds from the start of the run, moved only by the engine as it
+dispatches events.
+
+The *wall clocks* below are the live drivers the alarm-service daemon
+injects to decide how far the engine should be advanced right now:
+
+* :class:`SystemWallClock` — 1:1 with real time (a production daemon);
+* :class:`AcceleratedWallClock` — real time times a speed factor, so a
+  three-hour scenario replays through a live daemon in seconds (CI smoke);
+* :class:`ManualWallClock` — advances only when told to (deterministic
+  tests and the ``advance`` protocol op).
+
+A wall clock maps monotonic wall time to *simulation* milliseconds; the
+daemon then calls ``Simulator.advance_to(wall.now_ms())``.  Keeping the
+mapping here (not in the service layer) means anything that drives the
+stepping core live — tests, examples, the daemon — shares one definition
+of "now".
 """
 
 from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Interface of a live time source: sim-ms "now" plus a wait primitive."""
+
+    def now_ms(self) -> int:
+        """Current position in simulation milliseconds."""
+        raise NotImplementedError
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        """Block roughly ``duration_ms`` of *simulation* time."""
+        raise NotImplementedError
+
+
+class SystemWallClock(WallClock):
+    """Real time: one wall millisecond is one simulation millisecond.
+
+    ``start_ms`` offsets the origin — a resumed daemon restarts its wall
+    clock at the journal's last watermark, not at zero.
+    """
+
+    def __init__(self, start_ms: int = 0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._start_ms = start_ms
+        self._epoch = time.monotonic()
+
+    def now_ms(self) -> int:
+        return self._start_ms + int((time.monotonic() - self._epoch) * 1_000.0)
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        if duration_ms > 0:
+            time.sleep(duration_ms / 1_000.0)
+
+
+class AcceleratedWallClock(WallClock):
+    """Real time scaled by ``speed`` simulation ms per wall ms."""
+
+    def __init__(self, speed: float, start_ms: int = 0) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if start_ms < 0:
+            raise ValueError("clock cannot start before time zero")
+        self.speed = speed
+        self._start_ms = start_ms
+        self._epoch = time.monotonic()
+
+    def now_ms(self) -> int:
+        return self._start_ms + int(
+            (time.monotonic() - self._epoch) * 1_000.0 * self.speed
+        )
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        if duration_ms > 0:
+            time.sleep(duration_ms / 1_000.0 / self.speed)
+
+
+class ManualWallClock(WallClock):
+    """A wall clock that moves only on explicit :meth:`advance_to` calls.
+
+    The deterministic driver: tests and the service's ``advance`` op set
+    the position; ``sleep_ms`` returns immediately (there is nothing to
+    wait for — time *is* the caller).
+    """
+
+    def __init__(self, start_ms: int = 0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now_ms = start_ms
+
+    def now_ms(self) -> int:
+        return self._now_ms
+
+    def advance_to(self, instant_ms: int) -> None:
+        if instant_ms < self._now_ms:
+            raise ValueError(
+                f"wall clock cannot move backwards "
+                f"({self._now_ms} -> {instant_ms})"
+            )
+        self._now_ms = instant_ms
+
+    def advance_by(self, delta_ms: int) -> None:
+        if delta_ms < 0:
+            raise ValueError("cannot advance by a negative delta")
+        self._now_ms += delta_ms
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        return None
+
+
+#: Registry of wall-clock modes the service/CLI accept.
+WALL_CLOCK_MODES = ("manual", "real", "accelerated")
+
+
+def make_wall_clock(mode: str, speed: float = 1.0, start_ms: int = 0) -> WallClock:
+    """Build a wall clock from a mode name (CLI/service configuration)."""
+    if mode == "manual":
+        return ManualWallClock(start_ms)
+    if mode == "real":
+        return SystemWallClock(start_ms)
+    if mode == "accelerated":
+        return AcceleratedWallClock(speed, start_ms)
+    raise ValueError(
+        f"unknown wall clock mode {mode!r}; choose from {WALL_CLOCK_MODES}"
+    )
 
 
 class VirtualClock:

@@ -10,6 +10,7 @@ EXACT baseline and any custom :class:`~repro.core.policy.AlignmentPolicy`.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
@@ -61,6 +62,14 @@ class SimulatorConfig:
     paper-faithful ``"list"``.  Backend choice never changes alignment
     decisions — only their cost — and is part of the RunSpec digest so
     cached results are keyed by it.
+
+    ``live`` arms the engine for service use: ``add_alarm`` /
+    ``cancel_alarm`` / ``reregister_alarm`` stay legal *after*
+    :meth:`Simulator.start`, inserting into the pending schedules at or
+    ahead of the current instant (the alarm-service daemon feeds live
+    register/cancel traffic this way).  Batch runs keep the default
+    ``False``, where post-start mutation is an error — a spec that was
+    already consumed must not silently grow new events.
     """
 
     horizon: int = THREE_HOURS_MS
@@ -70,6 +79,7 @@ class SimulatorConfig:
     max_stalled_events: int = DEFAULT_MAX_STALLED_EVENTS
     monitor: Optional[str] = None
     queue_backend: Optional[str] = None
+    live: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -163,6 +173,7 @@ class Simulator:
             self.monitor.bind(self.manager, self.config.wake_latency_ms)
         self._registrations: List[_PendingRegistration] = []
         self._registration_seq = 0
+        self._registration_index = 0
         self._cancellations: List[_PendingRegistration] = []
         self._cancellation_index = 0
         self._reregistrations: List[_PendingReRegistration] = []
@@ -173,7 +184,8 @@ class Simulator:
         self._external_index = 0
         self._batch_index = 0
         self._session_fresh = False
-        self._ran = False
+        self._started = False
+        self._finished = False
         self._events = 0
         self._stalled = 0
         self._last_instant = -1
@@ -206,14 +218,42 @@ class Simulator:
                 "fresh workload (same builder, same config) for every run"
             )
         alarm.claimed_by = self
-        self._registrations.append(
-            _PendingRegistration(at, self._registration_seq, alarm)
-        )
+        pending = _PendingRegistration(at, self._registration_seq, alarm)
         self._registration_seq += 1
+        self._enqueue_pending(
+            self._registrations, pending, self._registration_index
+        )
 
     def add_alarms(self, alarms: Iterable[Alarm], at: int = 0) -> None:
         for alarm in alarms:
             self.add_alarm(alarm, at)
+
+    def _enqueue_pending(self, schedule: List, pending, processed: int) -> None:
+        """Append a pending op, or (live mode) insert it mid-run.
+
+        Before :meth:`start` the schedule is an unsorted append-only list
+        (``start`` sorts once).  After ``start`` the unprocessed tail is
+        sorted, so a live op is placed with ``bisect.insort`` past the
+        already-processed prefix; batch-mode post-start mutation raises —
+        a consumed spec must not silently grow new events.
+        """
+        if not self._started:
+            schedule.append(pending)
+            return
+        if not self.config.live:
+            raise RuntimeError(
+                "the run already started; scheduling new work mid-run "
+                "requires SimulatorConfig(live=True) (service mode)"
+            )
+        if self._finished:
+            raise RuntimeError("the run already finished; build a new Simulator")
+        # An op behind the clock is legal: dispatching an instant can push
+        # the clock a few ms past it (wake latency, task execution), and
+        # batch mode processes such ops at ``max(now, t)`` — catch-up at
+        # the next step.  Live mode keeps exactly those semantics; the
+        # caller-facing "no scheduling in the past" policy belongs to the
+        # service boundary, which validates against the *wall* clock.
+        bisect.insort(schedule, pending, lo=processed)
 
     def cancel_alarm(self, alarm: Alarm, at: int) -> None:
         """Schedule an app-side cancellation of ``alarm`` at time ``at``.
@@ -229,10 +269,11 @@ class Simulator:
                 f"({self.config.horizon}); the cancellation would silently "
                 "never take effect"
             )
-        self._cancellations.append(
-            _PendingRegistration(at, self._registration_seq, alarm)
-        )
+        pending = _PendingRegistration(at, self._registration_seq, alarm)
         self._registration_seq += 1
+        self._enqueue_pending(
+            self._cancellations, pending, self._cancellation_index
+        )
 
     def reregister_alarm(
         self, alarm: Alarm, at: int, nominal_offset: Optional[int] = None
@@ -262,36 +303,141 @@ class Simulator:
                 "Simulator run; build a fresh workload for every run"
             )
         alarm.claimed_by = self
-        self._reregistrations.append(
-            _PendingReRegistration(
-                at, self._registration_seq, alarm, nominal_offset
-            )
+        pending = _PendingReRegistration(
+            at, self._registration_seq, alarm, nominal_offset
         )
         self._registration_seq += 1
+        self._enqueue_pending(
+            self._reregistrations, pending, self._reregistration_index
+        )
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Main loop: the incremental stepping core
+    #
+    # ``start()`` freezes the pending schedules, ``step()`` owns exactly
+    # one dispatch iteration, ``finish()`` seals the trace.  Batch
+    # ``run()`` is a thin loop over the three and is proven bit-identical
+    # to the pre-split loop by the fuzz corpus and paper-trace replay
+    # (tests/integration/test_stepping_equivalence.py).  The alarm-service
+    # daemon drives the same core through ``advance_to``.
     # ------------------------------------------------------------------
-    def run(self) -> SimulationTrace:
-        """Execute the run and return its trace. Single-use per instance."""
-        if self._ran:
-            raise RuntimeError("Simulator instances are single-use; build a new one")
-        self._ran = True
+    @property
+    def now(self) -> int:
+        """Current simulation time in ms."""
+        return self.clock.now
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def pending_op_count(self) -> int:
+        """Scheduled registrations/cancellations/re-registrations the loop
+        has not dispatched yet (a live daemon's accepted-but-not-yet-
+        effective backlog)."""
+        return (
+            (len(self._registrations) - self._registration_index)
+            + (len(self._cancellations) - self._cancellation_index)
+            + (len(self._reregistrations) - self._reregistration_index)
+        )
+
+    def start(self) -> None:
+        """Freeze the pending schedules and arm the loop. Single-use."""
+        if self._started:
+            raise RuntimeError(
+                "Simulator instances are single-use; build a new one"
+            )
+        self._started = True
         self._registrations.sort()
         self._registration_index = 0
         self._cancellations.sort()
         self._reregistrations.sort()
-        horizon = self.config.horizon
         self._events = 0
         self._stalled = 0
         self._last_instant = -1
+
+    def step(self) -> Optional[int]:
+        """Execute one dispatch iteration: advance to the next event
+        instant and process every phase due there.
+
+        Returns the instant processed, or ``None`` when no event remains
+        before the horizon (the run is drained; call :meth:`finish`).
+        """
+        if not self._started:
+            raise RuntimeError("call start() before step()")
+        if self._finished:
+            raise RuntimeError("the run already finished; build a new Simulator")
+        instant = self._next_event_time()
+        if instant is None or instant >= self.config.horizon:
+            return None
+        # Watchdog: a policy or injected fault that stops the clock
+        # from advancing (or floods the loop past its event budget)
+        # must raise a structured error rather than hang the process.
+        # The delivery loops tick it too — an alarm that reschedules
+        # itself due at the same instant stalls *inside* an iteration,
+        # where the outer loop alone would never notice.
+        self._watchdog_tick(instant)
+        self.clock.advance_to(instant)
         if self._tel_enabled:
-            with self.telemetry.span(
-                "engine.run", policy=self.policy.name, horizon=horizon
-            ):
-                self._run_loop(horizon)
+            self._dispatch_instrumented()
         else:
-            self._run_loop(horizon)
+            self._process_registrations()
+            self._process_cancellations()
+            self._process_reregistrations()
+            self._process_externals()
+            self._deliver_due_wakeups()
+            if self.device.awake:
+                self._deliver_due_nonwakeups()
+                self.device.try_sleep(self.clock.now)
+        if self.monitor is not None:
+            self.monitor.on_step_end(self.clock.now)
+        return instant
+
+    def advance_to(self, instant: int) -> int:
+        """Process every event due at or before ``instant``; returns the
+        number of dispatch iterations executed.
+
+        Afterwards the clock rests at ``min(instant, horizon)`` (never
+        moving backwards), so a live driver can park the engine at "wall
+        now" even when the queues are quiet.  Events *at* the horizon
+        never fire, exactly as in batch mode.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before advance_to()")
+        if self._finished:
+            raise RuntimeError("the run already finished; build a new Simulator")
+        processed = 0
+        horizon = self.config.horizon
+        while True:
+            due = self._next_event_time()
+            if due is None or due > instant or due >= horizon:
+                break
+            self.step()
+            processed += 1
+        park = min(instant, horizon)
+        if park > self.clock.now:
+            self.clock.advance_to(park)
+        return processed
+
+    def next_event_time(self) -> Optional[int]:
+        """The instant :meth:`step` would process next, or ``None``."""
+        return self._next_event_time()
+
+    def finish(self) -> SimulationTrace:
+        """Seal the trace (sessions, monitor epilogue, telemetry).
+
+        Idempotent: a second call returns the already-sealed trace.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before finish()")
+        if self._finished:
+            return self.trace
+        self._finished = True
+        horizon = self.config.horizon
         # A wake triggered just before the horizon can resume after it; the
         # session closes at the real clock time and energy accounting clips
         # at the horizon.
@@ -304,33 +450,31 @@ class Simulator:
             self.trace.telemetry = self.telemetry.summary()
         return self.trace
 
-    def _run_loop(self, horizon: int) -> None:
-        instrumented = self._tel_enabled
-        while True:
-            instant = self._next_event_time()
-            if instant is None or instant >= horizon:
-                break
-            # Watchdog: a policy or injected fault that stops the clock
-            # from advancing (or floods the loop past its event budget)
-            # must raise a structured error rather than hang the process.
-            # The delivery loops tick it too — an alarm that reschedules
-            # itself due at the same instant stalls *inside* an iteration,
-            # where the outer loop alone would never notice.
-            self._watchdog_tick(instant)
-            self.clock.advance_to(instant)
-            if instrumented:
-                self._dispatch_instrumented()
-            else:
-                self._process_registrations()
-                self._process_cancellations()
-                self._process_reregistrations()
-                self._process_externals()
-                self._deliver_due_wakeups()
-                if self.device.awake:
-                    self._deliver_due_nonwakeups()
-                    self.device.try_sleep(self.clock.now)
-            if self.monitor is not None:
-                self.monitor.on_step_end(self.clock.now)
+    def drain(self) -> SimulationTrace:
+        """Step until no event remains before the horizon, then seal.
+
+        Starts the run if needed, so ``Simulator(...).drain()`` is the
+        stepping-core spelling of :meth:`run`.
+        """
+        if not self._started:
+            self.start()
+        while self.step() is not None:
+            pass
+        return self.finish()
+
+    def run(self) -> SimulationTrace:
+        """Execute the run and return its trace. Single-use per instance."""
+        self.start()
+        if self._tel_enabled:
+            with self.telemetry.span(
+                "engine.run", policy=self.policy.name, horizon=self.config.horizon
+            ):
+                while self.step() is not None:
+                    pass
+        else:
+            while self.step() is not None:
+                pass
+        return self.finish()
 
     def _dispatch_instrumented(self) -> None:
         """One scheduler step with per-event-type dispatch spans.

@@ -11,7 +11,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from ..core.alarm import RepeatKind
+from ..core.alarm import Alarm, RepeatKind
 from ..core.hardware import Component, HardwareSet
 from ..core.invariants import Violation
 from ..obs.summary import TelemetrySummary
@@ -32,6 +32,51 @@ def _hardware_to_list(hardware: HardwareSet) -> List[str]:
 
 def _hardware_from_list(values: List[str]) -> HardwareSet:
     return HardwareSet(Component(value) for value in values)
+
+
+def alarm_to_dict(alarm: Alarm) -> Dict:
+    """A JSON view of an alarm's *registration-time* attributes.
+
+    Captures everything needed to rebuild the alarm as it looked when the
+    app registered it (the alarm-service journal records accepted
+    ``register`` requests this way).  Delivery-time learning
+    (``delivery_count``, observed hardware) is deliberately excluded: a
+    replay re-derives it by re-running the deterministic engine.
+    """
+    return {
+        "alarm_id": alarm.alarm_id,
+        "app": alarm.app,
+        "label": alarm.label,
+        "nominal_time": alarm.nominal_time,
+        "repeat_interval": alarm.repeat_interval,
+        "repeat_kind": alarm.repeat_kind.value,
+        "window_length": alarm.window_length,
+        "grace_length": alarm.grace_length,
+        "wakeup": alarm.wakeup,
+        "hardware": _hardware_to_list(alarm.true_hardware),
+        "hardware_known": alarm.hardware_known,
+        "task_duration": alarm.task_duration,
+        "hold_duration": alarm.hold_duration,
+    }
+
+
+def alarm_from_dict(payload: Dict) -> Alarm:
+    """Rebuild a fresh (undelivered) alarm from :func:`alarm_to_dict`."""
+    return Alarm(
+        alarm_id=payload["alarm_id"],
+        app=payload["app"],
+        label=payload["label"],
+        nominal_time=payload["nominal_time"],
+        repeat_interval=payload["repeat_interval"],
+        repeat_kind=RepeatKind(payload["repeat_kind"]),
+        window_length=payload["window_length"],
+        grace_length=payload["grace_length"],
+        wakeup=payload["wakeup"],
+        hardware=_hardware_from_list(payload["hardware"]),
+        hardware_known=payload["hardware_known"],
+        task_duration=payload["task_duration"],
+        hold_duration=payload["hold_duration"],
+    )
 
 
 def trace_to_dict(trace: SimulationTrace) -> Dict:

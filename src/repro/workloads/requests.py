@@ -1,0 +1,144 @@
+"""Workloads as live request streams for the alarm-service daemon.
+
+The batch pipeline hands a :class:`~repro.workloads.scenarios.Workload`
+to ``Workload.apply`` before the run starts; the daemon receives the
+same information as traffic.  :func:`workload_requests` compiles a
+workload — registrations *and* churn directives — into the JSONL request
+stream ``simty serve`` understands: every mutation becomes a
+``register``/``cancel``/``reanchor`` op carrying its effective
+simulation time, interleaved with ``advance`` ops that walk a manual
+wall clock forward, and terminated by an ``advance`` to the horizon plus
+a draining ``shutdown``.
+
+Driving the daemon with this stream must reproduce the batch run's trace
+exactly (modulo service-assigned alarm ids) — that equivalence is pinned
+by ``tests/service/test_service_equivalence.py``, and ``simty requests``
+exposes the compiler so the CI smoke and users can replay paper
+workloads against a live daemon.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from ..core.alarm import Alarm
+from .churn import CancelAt, RegisterAt, ReRegisterAt
+from .scenarios import Workload
+
+#: Default spacing of interleaved ``advance`` ops (10 simulated minutes).
+DEFAULT_ADVANCE_EVERY_MS = 600_000
+
+
+def alarm_wire_spec(alarm: Alarm) -> Dict:
+    """An alarm's registration-time attributes in protocol field names."""
+    spec: Dict = {
+        "app": alarm.app,
+        "label": alarm.label,
+        "nominal": alarm.nominal_time,
+        "interval": alarm.repeat_interval,
+        "kind": alarm.repeat_kind.value,
+        "window": alarm.window_length,
+        "grace": alarm.grace_length,
+        "wakeup": alarm.wakeup,
+        "hardware": sorted(
+            component.value for component in alarm.true_hardware
+        ),
+        "hardware_known": alarm.hardware_known,
+        "task_ms": alarm.task_duration,
+    }
+    if alarm.hold_duration is not None:
+        spec["hold_ms"] = alarm.hold_duration
+    return spec
+
+
+def workload_requests(
+    workload: Workload,
+    *,
+    advance_every_ms: int = DEFAULT_ADVANCE_EVERY_MS,
+    drain: bool = True,
+    checkpoint_every: Optional[int] = None,
+) -> Iterator[Dict]:
+    """Yield the request payloads that replay ``workload`` live.
+
+    Mutations are emitted in (time, original order) and the manual clock
+    is advanced in ``advance_every_ms`` strides, always *up to but never
+    past* the next mutation's effective time — an op must not arrive
+    with ``at`` behind the engine.  ``checkpoint_every`` inserts an
+    explicit ``checkpoint`` op after every N mutations (exercised by the
+    crash/resume smoke).
+    """
+    if advance_every_ms <= 0:
+        raise ValueError("advance_every_ms must be positive")
+
+    mutations: List[Dict] = []
+    for registration in workload.registrations:
+        mutations.append(
+            {
+                "op": "register",
+                "at": registration.time,
+                "alarm": alarm_wire_spec(registration.alarm),
+            }
+        )
+    for directive in workload.directives:
+        if isinstance(directive, RegisterAt):
+            mutations.append(
+                {
+                    "op": "register",
+                    "at": directive.time,
+                    "alarm": alarm_wire_spec(directive.alarm),
+                }
+            )
+        elif isinstance(directive, CancelAt):
+            mutations.append(
+                {
+                    "op": "cancel",
+                    "at": directive.time,
+                    "label": directive.label,
+                }
+            )
+        elif isinstance(directive, ReRegisterAt):
+            payload = {
+                "op": "reanchor",
+                "at": directive.time,
+                "label": directive.label,
+            }
+            if directive.nominal_offset is not None:
+                payload["nominal_offset"] = directive.nominal_offset
+            mutations.append(payload)
+        else:  # pragma: no cover - future directive kinds
+            raise TypeError(f"unknown directive {type(directive).__name__}")
+    # Stable sort: simultaneous ops keep their workload order, which is
+    # the order Workload.apply feeds them to the engine.
+    mutations.sort(key=lambda payload: payload["at"])
+
+    request_id = 0
+    clock = 0
+
+    def stamped(payload: Dict) -> Dict:
+        nonlocal request_id
+        request_id += 1
+        return {"id": request_id, **payload}
+
+    emitted = 0
+    for mutation in mutations:
+        # Walk the wall clock toward this op in fixed strides, stopping
+        # short of its effective time so the op is never in the past.
+        while clock + advance_every_ms <= mutation["at"]:
+            clock += advance_every_ms
+            yield stamped({"op": "advance", "to": clock})
+        yield stamped(mutation)
+        emitted += 1
+        if checkpoint_every and emitted % checkpoint_every == 0:
+            yield stamped({"op": "checkpoint"})
+    while clock + advance_every_ms < workload.horizon:
+        clock += advance_every_ms
+        yield stamped({"op": "advance", "to": clock})
+    yield stamped({"op": "advance", "to": workload.horizon})
+    yield stamped({"op": "shutdown", "drain": drain})
+
+
+def workload_request_lines(workload: Workload, **kwargs: object) -> Iterator[str]:
+    """The same stream, pre-serialized one JSON object per line."""
+    for payload in workload_requests(workload, **kwargs):
+        yield json.dumps(payload, sort_keys=True)

@@ -1,0 +1,1 @@
+"""Tests for the live alarm-service daemon (src/repro/service)."""
