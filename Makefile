@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench paper validate examples serve-smoke clean
+.PHONY: install test bench paper validate examples serve-smoke chaos-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,10 @@ validate:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py --log serve-smoke.log
+
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py --log chaos-smoke.log \
+		--journal-dir chaos-smoke-journals
 
 examples:
 	@for script in examples/*.py; do \

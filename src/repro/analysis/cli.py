@@ -334,6 +334,39 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="after a draining shutdown, write the sealed trace as JSON",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: at most N requests in flight across all "
+            "connections; excess is shed with an 'overloaded' error "
+            "(default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=1_000.0,
+        metavar="MS",
+        help=(
+            "flag requests slower than MS wall ms into telemetry and run "
+            "the in-flight watchdog at the same threshold (<=0 disables; "
+            "default 1000)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject faults for torture testing: comma-separated key=value "
+            "tokens, e.g. 'dup=0.2,fsync=0.01,jlat=5:0.5,skew=250,seed=7' "
+            "(journal + clock faults apply in-process; run a chaos proxy "
+            "for transport faults — see docs/robustness.md)"
+        ),
+    )
 
     requests_cmd = sub.add_parser(
         "requests",
@@ -735,16 +768,31 @@ def _command_inspect(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from ..core.units import THREE_HOURS_MS
+    from ..obs.telemetry import Telemetry
     from ..service import (
         AlarmService,
+        FaultyJournal,
         MetricsServer,
         ServiceConfig,
+        SkewedWallClock,
+        SlowRequestWatchdog,
         SocketServer,
         Ticker,
+        parse_chaos_spec,
         serve_stdio,
     )
 
+    chaos_spec = None
+    if args.chaos is not None:
+        try:
+            chaos_spec = parse_chaos_spec(args.chaos)
+        except ValueError as error:
+            raise SystemExit(f"--chaos: {error}")
+
+    slow_ms = args.slow_request_ms if args.slow_request_ms > 0 else None
     config = ServiceConfig(
         policy=args.policy,
         horizon=args.horizon if args.horizon is not None else THREE_HOURS_MS,
@@ -754,23 +802,63 @@ def _command_serve(args: argparse.Namespace) -> int:
         speed=args.speed,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every_ms=args.checkpoint_every,
+        max_inflight=args.max_inflight,
+        slow_request_ms=slow_ms,
     )
+
+    telemetry = Telemetry()
+    journal_factory = None
+    if chaos_spec is not None:
+        print(f"chaos armed: {chaos_spec.describe()}", file=sys.stderr)
+
+        def journal_factory(path, _spec=chaos_spec, _hub=telemetry):
+            return FaultyJournal(path, _spec, telemetry=_hub)
+
     if args.resume:
         if args.checkpoint_dir is None:
             raise SystemExit("--resume requires --checkpoint-dir")
-        service = AlarmService.resume(config)
+        service = AlarmService.resume(
+            config, telemetry, journal_factory=journal_factory
+        )
         print(
             f"resumed {config.policy.upper()} at sim t={service.simulator.now} ms "
             f"({len(service.journal)} journal entries)",
             file=sys.stderr,
         )
     else:
-        service = AlarmService(config)
+        service = AlarmService(
+            config, telemetry, journal_factory=journal_factory
+        )
         print(
             f"serving {config.policy.upper()} to horizon "
             f"{config.horizon} ms on a {config.clock} clock",
             file=sys.stderr,
         )
+
+    if (
+        chaos_spec is not None
+        and chaos_spec.skew_ms > 0
+        and config.clock != "manual"
+    ):
+        service.wall = SkewedWallClock(
+            service.wall, chaos_spec, telemetry=service.telemetry
+        )
+
+    def _graceful_exit(signum: int, frame: object) -> None:
+        info = service.shutdown_gracefully()
+        name = signal.Signals(signum).name
+        if info["already"]:
+            print(f"{name}: already shut down", file=sys.stderr)
+        else:
+            print(
+                f"{name}: graceful shutdown, final watermark at "
+                f"{info['watermark_ms']} ms",
+                file=sys.stderr,
+            )
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _graceful_exit)
+    signal.signal(signal.SIGINT, _graceful_exit)
 
     metrics = None
     if args.metrics_port is not None:
@@ -781,6 +869,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     ticker = None
     if config.clock != "manual":
         ticker = Ticker(service).start()
+
+    watchdog = None
+    if slow_ms is not None:
+        watchdog = SlowRequestWatchdog(
+            service, threshold_s=max(slow_ms / 1_000.0, 0.1)
+        ).start()
 
     socket_server = None
     try:
@@ -805,6 +899,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             handled = serve_stdio(service, sys.stdin, sys.stdout)
             print(f"served {handled} request(s)", file=sys.stderr)
     finally:
+        if watchdog is not None:
+            watchdog.stop()
         if ticker is not None:
             ticker.stop()
         if socket_server is not None:

@@ -7,27 +7,76 @@ Simulator` plus a wall clock, a crash/resume journal and a telemetry
 hub — and exposes it through line-delimited JSON over stdio, TCP or a
 Unix socket, with Prometheus metrics scrapeable over HTTP.
 
+Hardening layers (see ``docs/robustness.md``):
+
+* :class:`ServiceClient` — a resilient client with per-request
+  deadlines, bounded jittered retries, ``req_id`` mutation dedupe and a
+  circuit breaker;
+* overload protection — daemon-wide admission control plus bounded
+  per-connection queues, both shedding with structured ``overloaded``
+  errors, and a :class:`SlowRequestWatchdog`;
+* graceful degradation — a daemon whose journal turns unwritable keeps
+  serving reads and rejects mutations with ``read-only``;
+* :mod:`repro.service.chaos` — seeded fault injection (transport and
+  journal) for torture-testing all of the above.
+
 See ``docs/service.md`` for the protocol, clock modes and the
 checkpoint/resume contract.
 """
 
+from .chaos import (
+    ChaosSpec,
+    FaultyJournal,
+    FaultyTransport,
+    FlakyTransport,
+    SkewedWallClock,
+    parse_chaos_spec,
+)
+from .client import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientError,
+    DeadlineExceeded,
+    LocalTransport,
+    PipeTransport,
+    ServerError,
+    ServiceClient,
+    TcpTransport,
+    Transport,
+    TransportError,
+    UnixTransport,
+)
 from .daemon import AlarmService, ServiceConfig
 from .journal import MUTATION_KINDS, SERVICE_JOURNAL_NAME, ServiceJournal
 from .metrics import MetricsServer
 from .protocol import (
     ERROR_CODES,
+    IDEMPOTENT_OPS,
+    MUTATION_OPS,
     OPS,
     ProtocolError,
+    echo_req_id,
     error_reply,
     format_reply,
     ok_reply,
     parse_line,
     validated_alarm_spec,
     validated_op,
+    validated_req_id,
     validated_target,
     validated_time,
 )
-from .transport import SocketServer, Ticker, request_once, serve_stdio
+from .transport import (
+    DEFAULT_PER_CONNECTION_QUEUE,
+    SlowRequestWatchdog,
+    SocketServer,
+    Ticker,
+    request_once,
+    serve_stdio,
+)
 
 __all__ = [
     "AlarmService",
@@ -38,16 +87,43 @@ __all__ = [
     "MetricsServer",
     "SocketServer",
     "Ticker",
+    "SlowRequestWatchdog",
+    "DEFAULT_PER_CONNECTION_QUEUE",
     "serve_stdio",
     "request_once",
+    "ServiceClient",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "Transport",
+    "TcpTransport",
+    "UnixTransport",
+    "PipeTransport",
+    "LocalTransport",
+    "ClientError",
+    "TransportError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "ServerError",
+    "ChaosSpec",
+    "parse_chaos_spec",
+    "FaultyJournal",
+    "FaultyTransport",
+    "FlakyTransport",
+    "SkewedWallClock",
     "ProtocolError",
     "OPS",
+    "MUTATION_OPS",
+    "IDEMPOTENT_OPS",
     "ERROR_CODES",
     "ok_reply",
     "error_reply",
     "format_reply",
     "parse_line",
+    "echo_req_id",
     "validated_op",
+    "validated_req_id",
     "validated_time",
     "validated_alarm_spec",
     "validated_target",

@@ -1,0 +1,505 @@
+"""A resilient client for the alarm-service daemon.
+
+The raw protocol is one JSON line per request, one per reply — trivial
+to speak, brutal to speak *well* over a flaky link.  :class:`ServiceClient`
+layers the production concerns on top of any transport:
+
+* **per-request deadlines** — every request carries an overall budget;
+  a reply that does not arrive in time raises :class:`DeadlineExceeded`
+  instead of hanging the caller;
+* **bounded retries with exponential backoff + full jitter** —
+  idempotent ops (``query``/``advance``/``checkpoint``) are retried
+  blindly; mutations (``register``/``cancel``/``reanchor``) are retried
+  *safely*, because the client stamps every mutation with a generated
+  ``req_id`` that the server journals and dedupes — a retry of a
+  mutation the server already applied returns the original reply
+  (marked ``duplicate``) rather than applying it twice;
+* **a circuit breaker** — after ``breaker_threshold`` consecutive
+  transport failures the breaker opens and calls fail fast with
+  :class:`CircuitOpenError` (no connection attempt) until a cooldown
+  elapses; the first call after the cooldown is a half-open probe that
+  closes the breaker on success or re-opens it on failure;
+* **overload cooperation** — a structured ``overloaded`` rejection is
+  not an error but a backpressure signal: the client sleeps the
+  server's ``retry_after_ms`` hint (bounded by the deadline) and tries
+  again.
+
+Everything observable reports through the standard telemetry hub:
+``service.client.requests{op,outcome}``, ``service.client.retries``,
+``service.client.transport_errors``, ``service.client.fast_fails``,
+``service.client.breaker_state`` (0 closed / 1 half-open / 2 open).
+
+Transports are deliberately tiny — ``roundtrip(line, timeout_s) -> line``
+— so the chaos layer can wrap any of them with fault injection:
+
+* :class:`TcpTransport` / :class:`UnixTransport` — one persistent
+  connection, reconnected lazily after a failure;
+* :class:`PipeTransport` — a subprocess's stdin/stdout pair;
+* :class:`LocalTransport` — an in-process :class:`AlarmService`
+  (tests, examples; no sockets involved).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+import uuid
+from typing import IO, Any, Callable, Dict, Optional
+
+from ..obs.telemetry import Telemetry
+from .daemon import AlarmService
+from .protocol import IDEMPOTENT_OPS, MUTATION_OPS
+
+#: Breaker states, also the value of the ``service.client.breaker_state``
+#: gauge.
+BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN = 0, 1, 2
+
+
+class ClientError(Exception):
+    """Base class for everything :class:`ServiceClient` raises."""
+
+
+class TransportError(ClientError):
+    """The transport failed to deliver a request or return a reply."""
+
+
+class DeadlineExceeded(ClientError):
+    """The per-request deadline elapsed before a usable reply arrived."""
+
+
+class CircuitOpenError(ClientError):
+    """The breaker is open: failing fast instead of hammering a dead peer."""
+
+
+class ServerError(ClientError):
+    """A structured rejection from the service (``ok: false``)."""
+
+    def __init__(self, code: str, message: str, reply: Dict) -> None:
+        self.code = code
+        self.message = message
+        self.reply = reply
+        super().__init__(f"[{code}] {message}")
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class Transport:
+    """One blocking request/reply exchange; raise TransportError on loss."""
+
+    def roundtrip(self, line: str, timeout_s: float) -> str:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+
+class _SocketTransport(Transport):
+    """Shared machinery: persistent socket, lazy (re)connect, line framing."""
+
+    def __init__(self, connect_timeout_s: float = 5.0) -> None:
+        self._connect_timeout_s = connect_timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[IO[str]] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        raise NotImplementedError
+
+    def roundtrip(self, line: str, timeout_s: float) -> str:
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                    self._reader = self._sock.makefile("r", encoding="utf-8")
+                self._sock.settimeout(max(timeout_s, 1e-3))
+                self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+                reply = self._reader.readline()
+            except (OSError, ValueError) as error:
+                self._teardown()
+                raise TransportError(f"{type(error).__name__}: {error}")
+            if not reply:
+                self._teardown()
+                raise TransportError("connection closed before a reply arrived")
+            return reply.rstrip("\n")
+
+    def _teardown(self) -> None:
+        for closer in (self._reader, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._reader = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+
+class TcpTransport(_SocketTransport):
+    def __init__(
+        self, host: str, port: int, connect_timeout_s: float = 5.0
+    ) -> None:
+        super().__init__(connect_timeout_s)
+        self.address = (host, port)
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            self.address, timeout=self._connect_timeout_s
+        )
+
+
+class UnixTransport(_SocketTransport):
+    def __init__(self, path: str, connect_timeout_s: float = 5.0) -> None:
+        super().__init__(connect_timeout_s)
+        self.path = path
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._connect_timeout_s)
+        sock.connect(self.path)
+        return sock
+
+
+class PipeTransport(Transport):
+    """Speak the protocol over a text stream pair (a subprocess's pipes).
+
+    Pipes have no timeout primitive, so the deadline degrades to "trust
+    the peer" — use the socket transports when the peer is not a child
+    process on the same machine.
+    """
+
+    def __init__(self, writer: IO[str], reader: IO[str]) -> None:
+        self._writer = writer
+        self._reader = reader
+        self._lock = threading.Lock()
+
+    def roundtrip(self, line: str, timeout_s: float) -> str:
+        with self._lock:
+            try:
+                self._writer.write(line.rstrip("\n") + "\n")
+                self._writer.flush()
+                reply = self._reader.readline()
+            except (OSError, ValueError) as error:
+                raise TransportError(f"{type(error).__name__}: {error}")
+            if not reply:
+                raise TransportError("pipe closed before a reply arrived")
+            return reply.rstrip("\n")
+
+
+class LocalTransport(Transport):
+    """Drive an in-process :class:`AlarmService` directly — no sockets."""
+
+    def __init__(self, service: AlarmService) -> None:
+        self._service = service
+
+    def roundtrip(self, line: str, timeout_s: float) -> str:
+        self._service.tick()
+        return json.dumps(self._service.handle_line(line), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    CLOSED → (``threshold`` consecutive failures) → OPEN → (``reset_s``
+    cooldown) → HALF_OPEN → one probe → CLOSED on success, OPEN again on
+    failure.  ``clock`` is injectable so tests never sleep.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if reset_s <= 0:
+            raise ValueError("reset_s must be positive")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> int:
+        if self._opened_at is None:
+            return BREAKER_CLOSED
+        if self._probing or (
+            self._clock() - self._opened_at >= self.reset_s
+        ):
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Marks the half-open probe."""
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        self._probing = False
+        if self._failures >= self.threshold or self._opened_at is not None:
+            self._opened_at = self._clock()
+
+
+# ----------------------------------------------------------------------
+# The client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Deadline-, retry- and breaker-aware front end to the daemon."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        deadline_s: float = 10.0,
+        attempt_timeout_s: Optional[float] = None,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 1.0,
+        telemetry: Optional[Telemetry] = None,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        client_id: Optional[str] = None,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if attempt_timeout_s is not None and attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base_s <= 0 or backoff_cap_s < backoff_base_s:
+            raise ValueError("need 0 < backoff_base_s <= backoff_cap_s")
+        self.transport = transport
+        self.deadline_s = deadline_s
+        # Per-attempt transport timeout.  None means "the whole remaining
+        # deadline" — simple, but then one silently dropped frame burns
+        # the entire budget waiting.  Set it below deadline_s so a drop
+        # costs one attempt, not the request.
+        self.attempt_timeout_s = attempt_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._sleep = sleep
+        self.client_id = client_id or uuid.uuid4().hex[:12]
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self.breaker = CircuitBreaker(
+            breaker_threshold, breaker_reset_s, clock=clock
+        )
+        self._observe_breaker()
+
+    # -- plumbing ------------------------------------------------------
+    def _observe_breaker(self) -> None:
+        self.telemetry.gauge("service.client.breaker_state", self.breaker.state)
+
+    def next_req_id(self) -> str:
+        with self._seq_lock:
+            self._seq += 1
+            return f"{self.client_id}-{self._seq}"
+
+    def _backoff_s(self, attempt: int, remaining_s: float) -> float:
+        """Full-jitter exponential backoff, clamped to the deadline."""
+        ceiling = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** attempt)
+        )
+        return min(self._rng.uniform(0, ceiling), max(remaining_s, 0.0))
+
+    # -- the retry loop ------------------------------------------------
+    def request(
+        self,
+        payload: Dict,
+        *,
+        deadline_s: Optional[float] = None,
+        idempotent: Optional[bool] = None,
+    ) -> Dict:
+        """One logical request; returns the reply dict (``ok`` either way).
+
+        Transport failures and ``overloaded`` rejections are retried
+        within the deadline and retry budget; every other reply — ok or
+        structured error — is returned to the caller as-is.
+        """
+        payload = dict(payload)
+        op = payload.get("op")
+        if idempotent is None:
+            idempotent = op in IDEMPOTENT_OPS
+        if not idempotent and op in MUTATION_OPS and "req_id" not in payload:
+            payload["req_id"] = self.next_req_id()
+        deadline = self._clock() + (
+            deadline_s if deadline_s is not None else self.deadline_s
+        )
+        line = json.dumps(payload, sort_keys=True)
+        attempt = 0
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                self._count(op, "deadline")
+                raise DeadlineExceeded(
+                    f"{op}: deadline exhausted after {attempt} attempt(s)"
+                )
+            if not self.breaker.allow():
+                self._observe_breaker()
+                self.telemetry.count("service.client.fast_fails", op=op)
+                self._count(op, "fast_fail")
+                raise CircuitOpenError(
+                    f"{op}: circuit breaker is open; not contacting the "
+                    "service"
+                )
+            self._observe_breaker()
+            timeout = (
+                remaining
+                if self.attempt_timeout_s is None
+                else min(remaining, self.attempt_timeout_s)
+            )
+            try:
+                raw = self.transport.roundtrip(line, timeout)
+                reply = json.loads(raw)
+                if not isinstance(reply, dict):
+                    raise ValueError("reply is not a JSON object")
+            except (TransportError, ValueError) as error:
+                self.breaker.record_failure()
+                self._observe_breaker()
+                self.telemetry.count("service.client.transport_errors", op=op)
+                if attempt >= self.max_retries:
+                    self._count(op, "transport_error")
+                    raise TransportError(
+                        f"{op}: {error} (after {attempt + 1} attempt(s))"
+                    )
+                self._sleep(self._backoff_s(attempt, deadline - self._clock()))
+                attempt += 1
+                self.telemetry.count("service.client.retries", op=op)
+                continue
+            self.breaker.record_success()
+            self._observe_breaker()
+            if not reply.get("ok") and self._shed(reply):
+                if attempt >= self.max_retries:
+                    self._count(op, "overloaded")
+                    return reply
+                hint_s = reply["error"].get("retry_after_ms", 50) / 1_000.0
+                self._sleep(min(hint_s, max(deadline - self._clock(), 0.0)))
+                attempt += 1
+                self.telemetry.count("service.client.retries", op=op)
+                continue
+            self._count(op, "ok" if reply.get("ok") else "rejected")
+            return reply
+
+    @staticmethod
+    def _shed(reply: Dict) -> bool:
+        error = reply.get("error")
+        return isinstance(error, dict) and error.get("code") == "overloaded"
+
+    def _count(self, op: Any, outcome: str) -> None:
+        self.telemetry.count(
+            "service.client.requests", op=str(op), outcome=outcome
+        )
+
+    def _result(self, reply: Dict) -> Dict:
+        if reply.get("ok"):
+            return reply["result"]
+        error = reply.get("error") or {}
+        raise ServerError(
+            error.get("code", "unknown"), error.get("message", ""), reply
+        )
+
+    # -- typed surface -------------------------------------------------
+    def register(
+        self, alarm: Dict, *, at: Optional[int] = None, **options: Any
+    ) -> Dict:
+        payload: Dict = {"op": "register", "alarm": alarm}
+        if at is not None:
+            payload["at"] = at
+        return self._result(self.request(payload, **options))
+
+    def cancel(
+        self,
+        *,
+        alarm_id: Optional[int] = None,
+        label: Optional[str] = None,
+        at: Optional[int] = None,
+        **options: Any,
+    ) -> Dict:
+        payload: Dict = {"op": "cancel"}
+        if alarm_id is not None:
+            payload["alarm_id"] = alarm_id
+        if label is not None:
+            payload["label"] = label
+        if at is not None:
+            payload["at"] = at
+        return self._result(self.request(payload, **options))
+
+    def reanchor(
+        self,
+        *,
+        alarm_id: Optional[int] = None,
+        label: Optional[str] = None,
+        at: Optional[int] = None,
+        nominal_offset: Optional[int] = None,
+        **options: Any,
+    ) -> Dict:
+        payload: Dict = {"op": "reanchor"}
+        if alarm_id is not None:
+            payload["alarm_id"] = alarm_id
+        if label is not None:
+            payload["label"] = label
+        if at is not None:
+            payload["at"] = at
+        if nominal_offset is not None:
+            payload["nominal_offset"] = nominal_offset
+        return self._result(self.request(payload, **options))
+
+    def query(self, **options: Any) -> Dict:
+        return self._result(self.request({"op": "query"}, **options))
+
+    def advance(self, to: int, **options: Any) -> Dict:
+        return self._result(self.request({"op": "advance", "to": to}, **options))
+
+    def checkpoint(self, **options: Any) -> Dict:
+        return self._result(self.request({"op": "checkpoint"}, **options))
+
+    def shutdown(self, *, drain: bool = False, **options: Any) -> Dict:
+        """Stop the daemon; a ``shutting-down`` rejection (a retry of a
+        shutdown that already landed) counts as success."""
+        try:
+            return self._result(
+                self.request({"op": "shutdown", "drain": drain}, **options)
+            )
+        except ServerError as error:
+            if error.code == "shutting-down":
+                return {"already": True}
+            raise
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

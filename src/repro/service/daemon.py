@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.units import THREE_HOURS_MS
 from ..obs.exporters import prometheus_text
@@ -35,17 +37,23 @@ from ..simulator.engine import Simulator, SimulatorConfig
 from ..simulator.monitor import ON_VIOLATION_MODES
 from ..simulator.serialize import alarm_from_dict, alarm_to_dict
 from ..simulator.trace import SimulationTrace
-from .journal import ServiceJournal
+from .journal import SERVICE_JOURNAL_NAME, ServiceJournal
 from .protocol import (
+    MUTATION_OPS,
     ProtocolError,
+    echo_req_id,
     error_reply,
     ok_reply,
     parse_line,
     validated_alarm_spec,
     validated_op,
+    validated_req_id,
     validated_target,
     validated_time,
 )
+
+#: What a journal factory receives: the journal file path.
+JournalFactory = Callable[[Path], ServiceJournal]
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,23 @@ class ServiceConfig:
     speed: float = 60.0
     checkpoint_dir: Optional[str] = None
     checkpoint_every_ms: Optional[int] = 60_000
+    #: Overload protection: at most this many requests admitted at once
+    #: (in flight + queued on the service lock); the rest are shed with a
+    #: structured ``overloaded`` error.  ``None`` disables admission
+    #: control entirely.
+    max_inflight: Optional[int] = None
+    #: How long a request may wait for an admission slot before being
+    #: shed (0.0 = shed immediately when the service is saturated).
+    admission_timeout_s: float = 0.0
+    #: The ``retry_after_ms`` hint carried by ``overloaded`` errors.
+    retry_after_ms: int = 50
+    #: Requests slower than this (wall ms, lock wait included) count into
+    #: ``service.slow_requests``; ``None`` disables the accounting.
+    slow_request_ms: Optional[float] = 1_000.0
+    #: How many recent mutation ``req_id``s are remembered for replay
+    #: dedupe (a retried mutation returns the original reply instead of
+    #: being applied twice).
+    dedupe_window: int = 1_024
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -84,6 +109,16 @@ class ServiceConfig:
             )
         if self.checkpoint_every_ms is not None and self.checkpoint_every_ms <= 0:
             raise ValueError("checkpoint_every_ms must be positive (or None)")
+        if self.max_inflight is not None and self.max_inflight <= 0:
+            raise ValueError("max_inflight must be positive (or None)")
+        if self.admission_timeout_s < 0:
+            raise ValueError("admission_timeout_s must be non-negative")
+        if self.retry_after_ms <= 0:
+            raise ValueError("retry_after_ms must be positive")
+        if self.slow_request_ms is not None and self.slow_request_ms <= 0:
+            raise ValueError("slow_request_ms must be positive (or None)")
+        if self.dedupe_window <= 0:
+            raise ValueError("dedupe_window must be positive")
 
 
 class AlarmService:
@@ -98,6 +133,7 @@ class AlarmService:
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[Telemetry] = None,
         *,
+        journal_factory: Optional[JournalFactory] = None,
         _journal: Optional[ServiceJournal] = None,
         _resume: bool = False,
     ) -> None:
@@ -121,9 +157,23 @@ class AlarmService:
         self._closed = False
         self._drained_trace: Optional[SimulationTrace] = None
         self._last_watermark = 0
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._recent_replies: "OrderedDict[str, Dict]" = OrderedDict()
+        self._admission = (
+            threading.BoundedSemaphore(self.config.max_inflight)
+            if self.config.max_inflight is not None
+            else None
+        )
+        self._inflight: Dict[int, Tuple[str, float]] = {}
+        self._inflight_lock = threading.Lock()
+        self._inflight_token = 0
+        self.telemetry.gauge("service.degraded_mode", 0)
 
         if _journal is None and self.config.checkpoint_dir is not None:
-            _journal = ServiceJournal.at(self.config.checkpoint_dir)
+            path = Path(self.config.checkpoint_dir) / SERVICE_JOURNAL_NAME
+            factory = journal_factory or ServiceJournal
+            _journal = factory(path)
             if not _resume:
                 _journal.reset()
         self.journal = _journal
@@ -153,15 +203,19 @@ class AlarmService:
         cls,
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        *,
+        journal_factory: Optional[JournalFactory] = None,
     ) -> "AlarmService":
         """A brand-new daemon; any stale journal in the dir is truncated."""
-        return cls(config, telemetry)
+        return cls(config, telemetry, journal_factory=journal_factory)
 
     @classmethod
     def resume(
         cls,
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        *,
+        journal_factory: Optional[JournalFactory] = None,
     ) -> "AlarmService":
         """Revive a crashed daemon from its checkpoint journal.
 
@@ -171,7 +225,8 @@ class AlarmService:
         config = config or ServiceConfig()
         if config.checkpoint_dir is None:
             raise ValueError("resume requires a checkpoint_dir")
-        journal = ServiceJournal.at(config.checkpoint_dir)
+        factory = journal_factory or ServiceJournal
+        journal = factory(Path(config.checkpoint_dir) / SERVICE_JOURNAL_NAME)
         header = journal.config_entry()
         if header is None:
             raise ValueError(
@@ -187,30 +242,94 @@ class AlarmService:
         return cls(config, telemetry, _journal=journal, _resume=True)
 
     def _replay(self) -> None:
-        """Re-apply every journaled mutation, then advance to the last
-        watermark — the deterministic engine reproduces the crashed
-        daemon's state (and its whole trace) exactly."""
+        """Re-apply the journal **in entry order** — mutations at their
+        recorded times, advancing at each watermark — so the
+        deterministic engine reproduces the crashed daemon's state (and
+        its whole trace) exactly.
+
+        Order matters, not just timestamps.  A mutation journaled
+        *after* a watermark at the same ``t`` was applied by the live
+        daemon with the engine already settled at ``t``; feeding it to
+        the engine *before* advancing would queue it as pending inside
+        the advance, where it can change a dispatch decision due exactly
+        at the boundary.  Interleaving exactly as journaled removes the
+        ambiguity.
+
+        Replay is deliberately *tolerant* of a hostile journal tail:
+
+        * a **duplicated** line (torn-then-retried write, or the chaos
+          layer's injected double write) is recognised by its ``seq``
+          number and applied once;
+        * a **phantom** entry — journaled but never applied, because the
+          engine rejected the op after the WAL append, or the process
+          died between append and apply with the reply never sent — is
+          skipped if the engine rejects it again (the engine is
+          deterministic, so it rejects the same entry the original
+          process failed to apply).  A skipped register still consumes
+          its alarm id, keeping id assignment identical to the crashed
+          process's.
+        """
         assert self.journal is not None
+        seen_seq: set = set()
         for entry in self.journal.entries:
+            seq = entry.get("seq")
+            if isinstance(seq, int):
+                if seq in seen_seq:
+                    self.telemetry.count("service.replay_duplicates")
+                    continue
+                seen_seq.add(seq)
             kind = entry.get("kind")
-            if kind == "register":
+            req_id = entry.get("req_id")
+            if kind == "watermark":
+                if entry["t"] > self.simulator.now:
+                    self.simulator.advance_to(entry["t"])
+            elif kind == "register":
                 alarm = alarm_from_dict(entry["alarm"])
-                self.simulator.add_alarm(alarm, entry["t"])
+                self._next_alarm_id = max(self._next_alarm_id, alarm.alarm_id + 1)
+                try:
+                    self.simulator.add_alarm(alarm, entry["t"])
+                except Exception:  # noqa: BLE001 - phantom entry, see docstring
+                    self.telemetry.count("service.replay_skipped", kind=kind)
+                    continue
                 self._alarms[alarm.alarm_id] = alarm
                 self._labels[alarm.label] = alarm.alarm_id
-                self._next_alarm_id = max(self._next_alarm_id, alarm.alarm_id + 1)
+                if isinstance(req_id, str) and req_id:
+                    self._remember_reply(
+                        req_id,
+                        {"alarm_id": alarm.alarm_id, "label": alarm.label,
+                         "at": entry["t"]},
+                    )
             elif kind == "cancel":
-                self.simulator.cancel_alarm(
-                    self._alarms[entry["alarm_id"]], entry["t"]
-                )
+                try:
+                    self.simulator.cancel_alarm(
+                        self._alarms[entry["alarm_id"]], entry["t"]
+                    )
+                except Exception:  # noqa: BLE001 - phantom entry
+                    self.telemetry.count("service.replay_skipped", kind=kind)
+                    continue
+                if isinstance(req_id, str) and req_id:
+                    self._remember_reply(
+                        req_id, {"alarm_id": entry["alarm_id"], "at": entry["t"]}
+                    )
             elif kind == "reanchor":
-                self.simulator.reregister_alarm(
-                    self._alarms[entry["alarm_id"]],
-                    entry["t"],
-                    nominal_offset=entry.get("nominal_offset"),
-                )
+                try:
+                    self.simulator.reregister_alarm(
+                        self._alarms[entry["alarm_id"]],
+                        entry["t"],
+                        nominal_offset=entry.get("nominal_offset"),
+                    )
+                except Exception:  # noqa: BLE001 - phantom entry
+                    self.telemetry.count("service.replay_skipped", kind=kind)
+                    continue
+                if isinstance(req_id, str) and req_id:
+                    self._remember_reply(
+                        req_id,
+                        {"alarm_id": entry["alarm_id"], "at": entry["t"],
+                         "nominal_offset": entry.get("nominal_offset")},
+                    )
         self._last_watermark = self.journal.last_watermark()
-        self.simulator.advance_to(self._last_watermark)
+        if self._last_watermark > self.simulator.now:
+            self.simulator.advance_to(self._last_watermark)
         self.telemetry.count("service.resumes")
 
     # ------------------------------------------------------------------
@@ -242,14 +361,62 @@ class AlarmService:
             return processed
 
     def _watermark(self) -> float:
-        """Journal "the engine reached t"; returns the fsync latency in ms."""
+        """Journal "the engine reached t"; returns the fsync latency in ms.
+
+        A watermark that fails to write flips the service into degraded
+        (read-only) mode instead of crashing: the engine keeps serving
+        reads, the previous watermark stays the resume point, and only
+        durability (not correctness) is lost.
+        """
         started = time.perf_counter()
-        if self.journal is not None:
-            self.journal.append({"kind": "watermark", "t": self.simulator.now})
+        if self.journal is not None and not self._degraded:
+            try:
+                self.journal.append(
+                    {"kind": "watermark", "t": self.simulator.now}
+                )
+            except OSError as error:
+                self._enter_degraded(error)
+            else:
+                self._last_watermark = self.simulator.now
         latency_ms = (time.perf_counter() - started) * 1_000.0
-        self._last_watermark = self.simulator.now
         self.telemetry.observe("service.checkpoint_latency_ms", latency_ms)
         return latency_ms
+
+    def _enter_degraded(self, error: OSError) -> None:
+        """Drop to read-only serving after a journal write failure.
+
+        Mutations must refuse rather than apply-without-journaling —
+        an unjournaled mutation would silently vanish on resume, which
+        is worse than a structured rejection the client can see.
+        Degraded mode is sticky until the process is restarted against
+        a writable journal.
+        """
+        self._degraded = True
+        self._degraded_reason = f"{type(error).__name__}: {error}"
+        self.telemetry.count("service.degraded_entries")
+        self.telemetry.gauge("service.degraded_mode", 1)
+
+    def _require_writable(self) -> None:
+        if self._degraded:
+            raise ProtocolError(
+                "read-only",
+                "the checkpoint journal is unwritable "
+                f"({self._degraded_reason}); mutations are disabled, "
+                "query/advance are still served",
+            )
+
+    def _journal_mutation(self, entry: Dict) -> None:
+        """WAL discipline: the mutation is durable *before* it is applied
+        (and before the reply is sent).  A failed append degrades to
+        read-only and rejects the mutation — the engine is untouched, so
+        the journal and the engine cannot disagree."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(entry)
+        except OSError as error:
+            self._enter_degraded(error)
+            self._require_writable()
 
     def _observe_depth(self) -> None:
         self.telemetry.gauge(
@@ -273,26 +440,117 @@ class AlarmService:
 
     def handle_request(self, payload: Dict) -> Dict:
         request_id = payload.get("id")
-        op = "?"
-        try:
-            with self._lock:
-                op = validated_op(payload)
-                if self._closed:
-                    raise ProtocolError(
-                        "shutting-down", "the service is shutting down"
-                    )
-                with self.telemetry.span("service.request", op=op):
-                    result = self._dispatch(op, payload)
-        except ProtocolError as error:
-            self._count_request(op, "rejected", error.code)
-            return error_reply(request_id, error.code, error.message)
-        except Exception as error:  # noqa: BLE001 - boundary: reply, don't die
-            self._count_request(op, "rejected", "engine-error")
-            return error_reply(
-                request_id, "engine-error", f"{type(error).__name__}: {error}"
+        started = time.monotonic()
+        raw_op = payload.get("op")
+        op = raw_op if isinstance(raw_op, str) else "?"
+        if not self._admit():
+            self.telemetry.count("service.shed_requests", scope="admission")
+            self._count_request(op, "shed", "overloaded")
+            return echo_req_id(
+                error_reply(
+                    request_id,
+                    "overloaded",
+                    f"the service has {self.config.max_inflight} requests "
+                    "in flight; retry after the hinted backoff",
+                    retry_after_ms=self.config.retry_after_ms,
+                ),
+                payload,
             )
-        self._count_request(op, "accepted")
-        return ok_reply(request_id, **result)
+        token = self._track_inflight(op, started)
+        try:
+            try:
+                with self._lock:
+                    op = validated_op(payload)
+                    req_id = validated_req_id(payload)
+                    if self._closed:
+                        raise ProtocolError(
+                            "shutting-down", "the service is shutting down"
+                        )
+                    if req_id is not None and op in MUTATION_OPS:
+                        cached = self._recent_replies.get(req_id)
+                        if cached is not None:
+                            self.telemetry.count(
+                                "service.deduped_requests", op=op
+                            )
+                            self._count_request(op, "deduped")
+                            return echo_req_id(
+                                ok_reply(
+                                    request_id, **dict(cached, duplicate=True)
+                                ),
+                                payload,
+                            )
+                    with self.telemetry.span("service.request", op=op):
+                        result = self._dispatch(op, payload)
+                    if req_id is not None and op in MUTATION_OPS:
+                        self._remember_reply(req_id, result)
+            except ProtocolError as error:
+                self._count_request(op, "rejected", error.code)
+                return echo_req_id(
+                    error_reply(
+                        request_id, error.code, error.message, **error.details
+                    ),
+                    payload,
+                )
+            except Exception as error:  # noqa: BLE001 - boundary: reply, don't die
+                self._count_request(op, "rejected", "engine-error")
+                return echo_req_id(
+                    error_reply(
+                        request_id,
+                        "engine-error",
+                        f"{type(error).__name__}: {error}",
+                    ),
+                    payload,
+                )
+            self._count_request(op, "accepted")
+            return echo_req_id(ok_reply(request_id, **result), payload)
+        finally:
+            self._untrack_inflight(token, op, started)
+            self._release()
+
+    # -- admission control + slow-request accounting -------------------
+    def _admit(self) -> bool:
+        if self._admission is None:
+            return True
+        return self._admission.acquire(timeout=self.config.admission_timeout_s)
+
+    def _release(self) -> None:
+        if self._admission is not None:
+            self._admission.release()
+
+    def _track_inflight(self, op: str, started: float) -> int:
+        with self._inflight_lock:
+            self._inflight_token += 1
+            token = self._inflight_token
+            self._inflight[token] = (op, started)
+        return token
+
+    def _untrack_inflight(self, token: int, op: str, started: float) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(token, None)
+        threshold = self.config.slow_request_ms
+        if threshold is not None:
+            duration_ms = (time.monotonic() - started) * 1_000.0
+            if duration_ms > threshold:
+                self.telemetry.count(
+                    "service.slow_requests", op=op, stage="completed"
+                )
+
+    def inflight_snapshot(self) -> List[Tuple[int, str, float]]:
+        """(token, op, age_s) of every request currently being handled —
+        what the slow-request watchdog scans.  Lock-free for the service
+        lock: a watchdog must be able to observe a wedged service."""
+        now = time.monotonic()
+        with self._inflight_lock:
+            return [
+                (token, op, now - started)
+                for token, (op, started) in self._inflight.items()
+            ]
+
+    def _remember_reply(self, req_id: str, result: Dict) -> None:
+        self._recent_replies[req_id] = dict(result)
+        self._recent_replies.move_to_end(req_id)
+        while len(self._recent_replies) > self.config.dedupe_window:
+            self._recent_replies.popitem(last=False)
 
     def _count_request(self, op: str, outcome: str, code: str = "") -> None:
         labels = {"op": op, "outcome": outcome}
@@ -327,19 +585,42 @@ class AlarmService:
             )
         return at
 
+    def _journal_time(self, at: int) -> int:
+        """The time a mutation will actually take effect in the engine.
+
+        Dispatching an ``advance`` can drag the engine a little past the
+        wall clock (wake latency, task execution); a mutation submitted
+        at wall time ``at`` is then applied by the engine at its own
+        ``now``.  The journal must record *that* time — replaying the
+        requested time would queue the op before the overshoot and land
+        it earlier than the live run did, breaking byte-identical
+        resume.  (A recorded time at/past the horizon replays as a
+        rejected phantom, which matches the live op never dispatching.)
+        """
+        return max(at, self.simulator.now)
+
     def _op_register(self, payload: Dict) -> Dict:
         spec = validated_alarm_spec(payload, self.config.horizon)
         at = self._effective_time(payload)
+        self._require_writable()
         alarm_id = self._next_alarm_id
-        self._next_alarm_id += 1
         alarm = alarm_from_dict(dict(spec, alarm_id=alarm_id))
+        entry = {
+            "kind": "register",
+            "t": self._journal_time(at),
+            "alarm": alarm_to_dict(alarm),
+        }
+        req_id = validated_req_id(payload)
+        if req_id is not None:
+            entry["req_id"] = req_id
+        self._journal_mutation(entry)
+        # The id is consumed once the entry is durable, even if the
+        # engine rejects the alarm below — replay does the same, so a
+        # resumed daemon assigns the exact same ids.
+        self._next_alarm_id += 1
         self.simulator.add_alarm(alarm, at)
         self._alarms[alarm_id] = alarm
         self._labels[alarm.label] = alarm_id
-        if self.journal is not None:
-            self.journal.append(
-                {"kind": "register", "t": at, "alarm": alarm_to_dict(alarm)}
-            )
         self._observe_depth()
         return {"alarm_id": alarm_id, "label": alarm.label, "at": at}
 
@@ -360,9 +641,14 @@ class AlarmService:
     def _op_cancel(self, payload: Dict) -> Dict:
         alarm_id = self._resolve_target(payload)
         at = self._effective_time(payload)
+        self._require_writable()
+        entry = {"kind": "cancel", "t": self._journal_time(at),
+                 "alarm_id": alarm_id}
+        req_id = validated_req_id(payload)
+        if req_id is not None:
+            entry["req_id"] = req_id
+        self._journal_mutation(entry)
         self.simulator.cancel_alarm(self._alarms[alarm_id], at)
-        if self.journal is not None:
-            self.journal.append({"kind": "cancel", "t": at, "alarm_id": alarm_id})
         self._observe_depth()
         return {"alarm_id": alarm_id, "at": at}
 
@@ -370,14 +656,18 @@ class AlarmService:
         alarm_id = self._resolve_target(payload)
         at = self._effective_time(payload)
         offset = validated_time(payload, "nominal_offset", default=None)
+        self._require_writable()
+        entry = {"kind": "reanchor", "t": self._journal_time(at),
+                 "alarm_id": alarm_id}
+        if offset is not None:
+            entry["nominal_offset"] = offset
+        req_id = validated_req_id(payload)
+        if req_id is not None:
+            entry["req_id"] = req_id
+        self._journal_mutation(entry)
         self.simulator.reregister_alarm(
             self._alarms[alarm_id], at, nominal_offset=offset
         )
-        if self.journal is not None:
-            entry = {"kind": "reanchor", "t": at, "alarm_id": alarm_id}
-            if offset is not None:
-                entry["nominal_offset"] = offset
-            self.journal.append(entry)
         self._observe_depth()
         return {"alarm_id": alarm_id, "at": at, "nominal_offset": offset}
 
@@ -396,6 +686,8 @@ class AlarmService:
             "next_event_ms": simulator.next_event_time(),
             "violations": len(monitor.violations) if monitor is not None else None,
             "journal_entries": len(self.journal) if self.journal is not None else 0,
+            "degraded": self._degraded,
+            "degraded_reason": self._degraded_reason,
         }
 
     def _op_advance(self, payload: Dict) -> Dict:
@@ -443,6 +735,26 @@ class AlarmService:
             "batches_delivered": len(self.simulator.trace.batches),
         }
 
+    def shutdown_gracefully(self) -> Dict:
+        """SIGTERM/SIGINT path: watermark, stop accepting, report.
+
+        Taking the service lock first means every in-flight request
+        drains (finishes and gets its reply) before the final watermark
+        is cut; requests arriving afterwards see ``shutting-down``.
+        Idempotent — a second signal is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return {"sim_time_ms": self.simulator.now, "already": True}
+            self._watermark()
+            self._closed = True
+            self.telemetry.count("service.graceful_shutdowns")
+            return {
+                "sim_time_ms": self.simulator.now,
+                "watermark_ms": self._last_watermark,
+                "already": False,
+            }
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -450,6 +762,11 @@ class AlarmService:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
 
     @property
     def trace(self) -> Optional[SimulationTrace]:

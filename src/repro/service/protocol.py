@@ -68,19 +68,37 @@ ERROR_CODES = (
     "clock-mode",    # advance on a non-manual wall clock
     "shutting-down", # request after shutdown was accepted
     "engine-error",  # the engine rejected an op the gate let through
+    "overloaded",    # load shed: queue full; error carries retry_after_ms
+    "read-only",     # journal unwritable: mutations disabled, reads served
 )
+
+#: Ops that mutate engine state (journaled, deduped via ``req_id``).
+MUTATION_OPS = ("register", "cancel", "reanchor")
+
+#: Ops safe to blindly retry: re-running an applied one changes nothing.
+#: (``advance`` is idempotent because re-advancing to a reached wall
+#: position is a no-op, not an error.)
+IDEMPOTENT_OPS = ("query", "advance", "checkpoint")
+
+#: Longest accepted client-generated request id.
+MAX_REQ_ID_LENGTH = 128
 
 _KIND_NAMES = {kind.value: kind for kind in RepeatKind}
 _COMPONENT_NAMES = {component.value for component in Component}
 
 
 class ProtocolError(Exception):
-    """A rejected request: carries the structured error code + message."""
+    """A rejected request: carries the structured error code + message.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details`` rides along into the error object of the reply — the
+    ``overloaded`` code uses it to carry a ``retry_after_ms`` hint.
+    """
+
+    def __init__(self, code: str, message: str, **details: Any) -> None:
         assert code in ERROR_CODES, code
         self.code = code
         self.message = message
+        self.details = details
         super().__init__(f"[{code}] {message}")
 
 
@@ -88,8 +106,42 @@ def ok_reply(request_id: Any, **result: Any) -> Dict:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_reply(request_id: Any, code: str, message: str) -> Dict:
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+def error_reply(request_id: Any, code: str, message: str, **details: Any) -> Dict:
+    error = {"code": code, "message": message}
+    error.update(details)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def echo_req_id(reply: Dict, payload: Dict) -> Dict:
+    """Copy a client-supplied ``req_id`` into the reply (errors included).
+
+    Pipelined or shed replies can arrive out of stream order, so the
+    echo is what lets a client correlate them.  Only plausible ids are
+    echoed — a non-string ``req_id`` is already being rejected as
+    ``bad-request`` and echoing garbage would just widen the blast.
+    """
+    req_id = payload.get("req_id")
+    if isinstance(req_id, str) and req_id:
+        reply["req_id"] = req_id
+    return reply
+
+
+def validated_req_id(payload: Dict) -> Optional[str]:
+    """The optional client-generated request id: a short non-empty string."""
+    req_id = payload.get("req_id")
+    if req_id is None:
+        return None
+    if not isinstance(req_id, str) or not req_id:
+        raise ProtocolError(
+            "bad-request",
+            f"req_id must be a non-empty string, got {type(req_id).__name__}",
+        )
+    if len(req_id) > MAX_REQ_ID_LENGTH:
+        raise ProtocolError(
+            "bad-request",
+            f"req_id is longer than {MAX_REQ_ID_LENGTH} characters",
+        )
+    return req_id
 
 
 def format_reply(reply: Dict) -> str:

@@ -15,17 +15,64 @@ One protocol, three front doors:
 Every transport is a thin loop around ``service.handle_line`` — the
 daemon owns all state and locking, so mixing transports (say, a Unix
 socket plus the metrics endpoint plus a ticker) is safe by construction.
+
+Overload protection lives at two layers.  Each socket connection runs a
+*reader* thread that parses frames into a **bounded queue** and a
+*worker* (the handler thread) that drains it; when a client pipelines
+faster than the service can answer, excess requests are **shed
+immediately** with a structured ``overloaded`` error carrying a
+``retry_after_ms`` hint — the queue cannot grow without bound and the
+connection never silently stalls.  (Shed replies can overtake in-order
+replies, which is exactly what the protocol's ``req_id`` echo is for.)
+Below that, the daemon's own admission control bounds the *total*
+number of requests in flight across all connections.  A
+:class:`SlowRequestWatchdog` thread rounds it out: it scans the
+daemon's in-flight table and flags requests stuck past a threshold into
+telemetry, so a wedged engine is visible from /metrics instead of only
+from a dead client.
 """
 
 from __future__ import annotations
 
+import queue
 import socket
 import socketserver
+import sys
 import threading
-from typing import IO, Optional, Tuple
+from typing import IO, Callable, Optional, Tuple
 
 from .daemon import AlarmService
-from .protocol import format_reply
+from .protocol import error_reply, format_reply, parse_line
+
+#: Default bound on each connection's pipelined-request queue.
+DEFAULT_PER_CONNECTION_QUEUE = 64
+
+
+def _shed_reply(line: str, retry_after_ms: int) -> str:
+    """The ``overloaded`` reply for a request shed before processing.
+
+    Parses just enough of the line to echo ``id``/``req_id`` so the
+    client can tell *which* pipelined request was shed.
+    """
+    request_id = req_id = None
+    try:
+        payload = parse_line(line)
+        request_id = payload.get("id")
+        candidate = payload.get("req_id")
+        if isinstance(candidate, str) and candidate:
+            req_id = candidate
+    except Exception:  # noqa: BLE001 - unparseable lines still get shed
+        pass
+    reply = error_reply(
+        request_id,
+        "overloaded",
+        "per-connection request queue is full; retry after the hinted "
+        "backoff",
+        retry_after_ms=retry_after_ms,
+    )
+    if req_id is not None:
+        reply["req_id"] = req_id
+    return format_reply(reply)
 
 
 def serve_stdio(service: AlarmService, stdin: IO[str], stdout: IO[str]) -> int:
@@ -50,16 +97,68 @@ def serve_stdio(service: AlarmService, stdin: IO[str], stdout: IO[str]) -> int:
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: a reader thread feeding a bounded queue, and this
+    handler thread draining it through the service.
+
+    The reader never blocks on the queue — a full queue means the
+    client is pipelining faster than the service answers, and the
+    excess line is answered *immediately* with ``overloaded`` instead
+    of buffering without bound.  All socket writes go through one lock
+    because shed replies and in-order replies come from two threads.
+    """
+
     def handle(self) -> None:
         service: AlarmService = self.server.service  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            line = raw.decode("utf-8", errors="replace")
-            if not line.strip():
+        limit: int = self.server.per_connection_queue  # type: ignore[attr-defined]
+        pending: "queue.Queue[str]" = queue.Queue(maxsize=limit)
+        eof = threading.Event()
+        write_lock = threading.Lock()
+
+        def send(text: str) -> bool:
+            try:
+                with write_lock:
+                    self.wfile.write((text + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                return True
+            except OSError:
+                return False
+
+        def read_frames() -> None:
+            try:
+                for raw in self.rfile:
+                    line = raw.decode("utf-8", errors="replace")
+                    if not line.strip():
+                        continue
+                    try:
+                        pending.put_nowait(line)
+                    except queue.Full:
+                        service.telemetry.count(
+                            "service.shed_requests", scope="connection"
+                        )
+                        if not send(
+                            _shed_reply(line, service.config.retry_after_ms)
+                        ):
+                            break
+            except OSError:
+                pass  # client vanished mid-frame; the worker drains and exits
+            finally:
+                eof.set()
+
+        reader = threading.Thread(
+            target=read_frames, name="simty-serve-reader", daemon=True
+        )
+        reader.start()
+        while True:
+            try:
+                line = pending.get(timeout=0.1)
+            except queue.Empty:
+                if eof.is_set() and pending.empty():
+                    break
                 continue
             service.tick()
             reply = service.handle_line(line)
-            self.wfile.write((format_reply(reply) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            if not send(format_reply(reply)):
+                break
             if service.closed:
                 self.server.shutdown_event.set()  # type: ignore[attr-defined]
                 break
@@ -80,6 +179,8 @@ class SocketServer:
     The server thread runs as a daemon; :meth:`wait` blocks until a
     client's ``shutdown`` op lands (or the optional timeout elapses),
     then :meth:`close` tears the listener down.
+    ``per_connection_queue`` bounds how many pipelined requests one
+    connection may have waiting; the excess is shed as ``overloaded``.
     """
 
     def __init__(
@@ -88,14 +189,18 @@ class SocketServer:
         *,
         tcp: Optional[Tuple[str, int]] = None,
         unix_path: Optional[str] = None,
+        per_connection_queue: int = DEFAULT_PER_CONNECTION_QUEUE,
     ) -> None:
         if (tcp is None) == (unix_path is None):
             raise ValueError("exactly one of tcp=(host, port) or unix_path")
+        if per_connection_queue <= 0:
+            raise ValueError("per_connection_queue must be positive")
         if tcp is not None:
             self._server = _TCPServer(tcp, _LineHandler)
         else:
             self._server = _UnixServer(unix_path, _LineHandler)
         self._server.service = service  # type: ignore[attr-defined]
+        self._server.per_connection_queue = per_connection_queue  # type: ignore[attr-defined]
         self._server.shutdown_event = threading.Event()  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="simty-serve", daemon=True
@@ -170,6 +275,84 @@ class Ticker:
         self._thread.join(timeout=5.0)
 
     def __enter__(self) -> "Ticker":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class SlowRequestWatchdog:
+    """Flag requests stuck in flight longer than a threshold.
+
+    The daemon already counts requests that *finished* slow
+    (``service.slow_requests{stage="completed"}``); this thread catches
+    the worse case — a request that has not finished at all.  It scans
+    :meth:`AlarmService.inflight_snapshot` (which takes only the small
+    in-flight lock, never the service lock, so a wedged service is
+    still observable), counts each stuck request once into
+    ``service.slow_requests{stage="inflight"}``, and reports it through
+    ``on_flag`` (default: one stderr line).
+    """
+
+    def __init__(
+        self,
+        service: AlarmService,
+        *,
+        threshold_s: float = 5.0,
+        interval_s: float = 0.5,
+        on_flag: Optional[Callable[[int, str, float], None]] = None,
+    ) -> None:
+        if threshold_s <= 0:
+            raise ValueError("threshold must be positive")
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self._service = service
+        self._threshold_s = threshold_s
+        self._interval_s = interval_s
+        self._on_flag = on_flag if on_flag is not None else self._warn
+        self._flagged: set = set()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="simty-watchdog", daemon=True
+        )
+
+    @staticmethod
+    def _warn(token: int, op: str, age_s: float) -> None:
+        print(
+            f"[simty-watchdog] request #{token} ({op}) has been in flight "
+            f"for {age_s:.1f}s",
+            file=sys.stderr,
+        )
+
+    def scan_once(self) -> int:
+        """One scan pass; returns how many new stuck requests were flagged."""
+        flagged = 0
+        live_tokens = set()
+        for token, op, age_s in self._service.inflight_snapshot():
+            live_tokens.add(token)
+            if age_s >= self._threshold_s and token not in self._flagged:
+                self._flagged.add(token)
+                self._service.telemetry.count(
+                    "service.slow_requests", op=op, stage="inflight"
+                )
+                self._on_flag(token, op, age_s)
+                flagged += 1
+        self._flagged &= live_tokens  # forget requests that finished
+        return flagged
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self.scan_once()
+
+    def start(self) -> "SlowRequestWatchdog":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "SlowRequestWatchdog":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:

@@ -1,0 +1,333 @@
+"""ServiceClient resilience: retries, dedupe, deadlines, the breaker.
+
+Everything runs against an in-process daemon through
+:class:`LocalTransport` (optionally wrapped in the chaos layer's
+scripted :class:`FlakyTransport`), with an injectable fake clock and
+fake sleep — no sockets, no real waiting, fully deterministic.
+"""
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.service import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AlarmService,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    FlakyTransport,
+    LocalTransport,
+    ServerError,
+    ServiceClient,
+    ServiceConfig,
+    Transport,
+    TransportError,
+)
+
+ALARM = {"app": "mail", "label": "sync", "nominal": 60_000,
+         "interval": 300_000, "grace": 150_000}
+
+
+class FakeClock:
+    """Injectable monotonic clock; ``sleep`` advances it (and records)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.t += seconds
+
+
+def service():
+    return AlarmService(ServiceConfig(policy="simty", clock="manual"))
+
+
+def client_for(transport, **overrides):
+    clock = FakeClock()
+    options = dict(
+        deadline_s=60.0,
+        max_retries=3,
+        backoff_base_s=0.05,
+        backoff_cap_s=1.0,
+        telemetry=Telemetry(),
+        clock=clock,
+        sleep=clock.sleep,
+        client_id="testclient",
+    )
+    options.update(overrides)
+    return ServiceClient(transport, **options), clock
+
+
+def counter(hub, name):
+    return sum(
+        value
+        for key, value in hub.counters.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, reset_s=2.0, clock=clock)
+        assert breaker.state == BREAKER_CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=2.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.t += 2.0
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=2.0, clock=clock)
+        breaker.record_failure()
+        clock.t += 2.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.t += 1.0
+        assert breaker.state == BREAKER_OPEN  # cooldown restarted
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_s=0)
+
+
+class TestRetries:
+    def test_idempotent_op_retried_through_transport_faults(self):
+        daemon = service()
+        flaky = FlakyTransport(
+            LocalTransport(daemon), plan=["before", "before", None]
+        )
+        client, _ = client_for(flaky)
+        result = client.query()
+        assert result["sim_time_ms"] == 0
+        assert counter(client.telemetry, "service.client.retries") == 2
+        assert counter(client.telemetry, "service.client.transport_errors") == 2
+
+    def test_mutation_lost_before_delivery_is_retried_once_applied(self):
+        daemon = service()
+        flaky = FlakyTransport(LocalTransport(daemon), plan=["before", None])
+        client, _ = client_for(flaky)
+        result = client.register(dict(ALARM))
+        assert result["alarm_id"] == 1
+        assert result.get("duplicate") is None
+        assert daemon.handle_request({"op": "query"})["result"]["registered"] == 1
+
+    def test_mutation_applied_but_reply_lost_dedupes_on_retry(self):
+        daemon = service()
+        flaky = FlakyTransport(LocalTransport(daemon), plan=["after", None])
+        client, _ = client_for(flaky)
+        result = client.register(dict(ALARM))
+        # The first attempt applied the mutation; the retry carried the
+        # same req_id and got the remembered reply back instead of
+        # registering a second alarm.
+        assert result["alarm_id"] == 1
+        assert result["duplicate"] is True
+        assert daemon.handle_request({"op": "query"})["result"]["registered"] == 1
+        assert counter(daemon.telemetry, "service.deduped_requests") == 1
+
+    def test_retry_budget_is_bounded(self):
+        daemon = service()
+        flaky = FlakyTransport(
+            LocalTransport(daemon), plan=["before"] * 100
+        )
+        client, _ = client_for(flaky, max_retries=2, breaker_threshold=50)
+        with pytest.raises(TransportError, match="after 3 attempt"):
+            client.query()
+        assert flaky.delivered == 0
+
+    def test_backoff_grows_and_is_jittered_within_bounds(self):
+        daemon = service()
+        flaky = FlakyTransport(
+            LocalTransport(daemon), plan=["before"] * 3 + [None]
+        )
+        client, clock = client_for(
+            flaky, max_retries=3, backoff_base_s=0.1, backoff_cap_s=10.0,
+            breaker_threshold=50,
+        )
+        client.query()
+        assert len(clock.sleeps) == 3
+        for attempt, slept in enumerate(clock.sleeps):
+            assert 0.0 <= slept <= 0.1 * (2 ** attempt)
+
+
+class TestDeadlines:
+    def test_deadline_exhaustion_raises_instead_of_hanging(self):
+        daemon = service()
+
+        class SlowTransport(Transport):
+            def __init__(self, clock):
+                self.clock = clock
+
+            def roundtrip(self, line, timeout_s):
+                self.clock.t += timeout_s  # the peer never answers
+                raise TransportError("timed out")
+
+        clock = FakeClock()
+        client = ServiceClient(
+            SlowTransport(clock), deadline_s=5.0, max_retries=100,
+            breaker_threshold=1_000, clock=clock, sleep=clock.sleep,
+        )
+        with pytest.raises(DeadlineExceeded):
+            client.query()
+        assert clock.t >= 5.0
+
+    def test_attempt_timeout_caps_each_roundtrip(self):
+        seen = []
+
+        class Recorder(Transport):
+            def roundtrip(self, line, timeout_s):
+                seen.append(timeout_s)
+                raise TransportError("nope")
+
+        clock = FakeClock()
+        client = ServiceClient(
+            Recorder(), deadline_s=10.0, attempt_timeout_s=0.25,
+            max_retries=2, clock=clock, sleep=clock.sleep,
+        )
+        with pytest.raises(TransportError):
+            client.query()
+        assert seen == [0.25] * 3
+
+    def test_per_request_deadline_overrides_the_default(self):
+        daemon = service()
+        client, clock = client_for(LocalTransport(daemon))
+        clock.t = 100.0
+
+        class Never(Transport):
+            def roundtrip(self, line, timeout_s):
+                clock.t += 1.0
+                raise TransportError("nope")
+
+        client.transport = Never()
+        with pytest.raises((DeadlineExceeded, TransportError)):
+            client.request({"op": "query"}, deadline_s=0.5)
+        assert clock.t < 110.0
+
+
+class TestCircuitBreakerIntegration:
+    def test_fast_fails_while_open_then_recovers(self):
+        daemon = service()
+        flaky = FlakyTransport(
+            LocalTransport(daemon), plan=["before", "before"] + [None] * 10
+        )
+        client, clock = client_for(
+            flaky, max_retries=0, breaker_threshold=2, breaker_reset_s=5.0
+        )
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                client.query()
+        # Open: fail fast without touching the transport.
+        delivered_before = flaky.delivered
+        with pytest.raises(CircuitOpenError):
+            client.query()
+        assert flaky.delivered == delivered_before
+        assert counter(client.telemetry, "service.client.fast_fails") == 1
+        # After the cooldown the half-open probe goes through and closes.
+        clock.t += 5.0
+        assert client.query()["sim_time_ms"] == 0
+        assert client.breaker.state == BREAKER_CLOSED
+
+    def test_breaker_gauge_tracks_state(self):
+        daemon = service()
+        flaky = FlakyTransport(LocalTransport(daemon), plan=["before"] * 2)
+        client, _ = client_for(flaky, max_retries=0, breaker_threshold=2)
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                client.query()
+        gauge = client.telemetry.gauges["service.client.breaker_state"]
+        assert gauge.last == BREAKER_OPEN
+
+
+class TestOverloadCooperation:
+    def test_overloaded_reply_is_retried_after_the_hint(self):
+        daemon = service()
+        inner = LocalTransport(daemon)
+        sent = []
+
+        class ShedOnce(Transport):
+            def __init__(self):
+                self.shed = False
+
+            def roundtrip(self, line, timeout_s):
+                sent.append(line)
+                if not self.shed:
+                    self.shed = True
+                    return (
+                        '{"ok": false, "id": null, "error": {"code": '
+                        '"overloaded", "message": "busy", '
+                        '"retry_after_ms": 200}}'
+                    )
+                return inner.roundtrip(line, timeout_s)
+
+        client, clock = client_for(ShedOnce())
+        assert client.query()["sim_time_ms"] == 0
+        assert len(sent) == 2
+        assert clock.sleeps[0] == pytest.approx(0.2)
+
+
+class TestTypedSurface:
+    def test_register_query_cancel_roundtrip(self):
+        daemon = service()
+        client, _ = client_for(LocalTransport(daemon))
+        registered = client.register(dict(ALARM))
+        assert registered["alarm_id"] == 1
+        assert client.query()["registered"] == 1
+        cancelled = client.cancel(label="sync", at=1_000)
+        assert cancelled["alarm_id"] == 1
+        assert client.advance(5_000)["sim_time_ms"] >= 1_000
+
+    def test_server_rejection_surfaces_as_server_error(self):
+        daemon = service()
+        client, _ = client_for(LocalTransport(daemon))
+        with pytest.raises(ServerError) as exc_info:
+            client.cancel(label="nope")
+        assert exc_info.value.code == "unknown-alarm"
+
+    def test_shutdown_retry_after_success_counts_as_done(self):
+        daemon = service()
+        client, _ = client_for(LocalTransport(daemon))
+        assert client.shutdown()["drained"] is False
+        assert client.shutdown() == {"already": True}
+
+    def test_req_ids_are_unique_and_echoed(self):
+        daemon = service()
+        client, _ = client_for(LocalTransport(daemon))
+        first = client.next_req_id()
+        second = client.next_req_id()
+        assert first != second
+        reply = client.request({"op": "register", "alarm": dict(ALARM)})
+        assert reply["ok"]
+        assert reply["req_id"].startswith("testclient-")

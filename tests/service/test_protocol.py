@@ -15,9 +15,12 @@ from repro.service import (
     AlarmService,
     ProtocolError,
     ServiceConfig,
+    echo_req_id,
     parse_line,
     validated_alarm_spec,
+    validated_req_id,
 )
+from repro.service.protocol import MAX_REQ_ID_LENGTH
 
 HORIZON = 3_600_000
 
@@ -198,3 +201,101 @@ class TestRejectionSemantics:
         reply = send(service, op="query", id="req-0042")
         assert reply["id"] == "req-0042"
         assert reply["ok"] is True
+
+
+class TestReqIdEcho:
+    def test_req_id_is_echoed_on_success(self, service):
+        reply = send(service, op="register", id=1, alarm=spec(),
+                     req_id="c1-77")
+        assert reply["ok"] is True
+        assert reply["req_id"] == "c1-77"
+
+    def test_req_id_is_echoed_on_errors(self, service):
+        reply = send(service, op="cancel", id=1, alarm_id=99, req_id="c1-78")
+        assert reply["ok"] is False
+        assert reply["req_id"] == "c1-78"
+
+    def test_req_id_is_echoed_on_unparseable_op(self, service):
+        reply = send(service, op="launch", req_id="c1-79")
+        assert reply["error"]["code"] == "unknown-op"
+        assert reply["req_id"] == "c1-79"
+
+    def test_absent_req_id_is_not_invented(self, service):
+        reply = send(service, op="query", id=5)
+        assert "req_id" not in reply
+
+    @pytest.mark.parametrize("bad", [7, True, "", ["x"], {}])
+    def test_malformed_req_id_is_rejected(self, service, bad):
+        reply = send(service, op="register", id=1, alarm=spec(), req_id=bad)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad-request"
+
+    def test_oversized_req_id_is_rejected(self, service):
+        reply = send(service, op="register", id=1, alarm=spec(),
+                     req_id="x" * (MAX_REQ_ID_LENGTH + 1))
+        assert reply["error"]["code"] == "bad-request"
+
+    def test_validated_req_id_helpers(self):
+        assert validated_req_id({"req_id": "abc"}) == "abc"
+        assert validated_req_id({}) is None
+        with pytest.raises(ProtocolError):
+            validated_req_id({"req_id": ""})
+        echoed = echo_req_id({"ok": True}, {"req_id": "abc"})
+        assert echoed["req_id"] == "abc"
+        assert "req_id" not in echo_req_id({"ok": True}, {})
+
+
+class TestMutationDedupe:
+    def test_replayed_mutation_returns_the_original_reply(self, service):
+        first = send(service, op="register", id=1, alarm=spec(),
+                     req_id="dup-1")
+        assert first["ok"], first
+        replay = send(service, op="register", id=2, alarm=spec(),
+                      req_id="dup-1")
+        assert replay["ok"] is True
+        assert replay["result"]["duplicate"] is True
+        assert replay["result"]["alarm_id"] == first["result"]["alarm_id"]
+        assert send(service, op="query")["result"]["registered"] == 1
+
+    def test_distinct_req_ids_apply_separately(self, service):
+        send(service, op="register", id=1, alarm=spec(), req_id="a-1")
+        send(service, op="register", id=2, alarm=spec(), req_id="a-2")
+        assert send(service, op="query")["result"]["registered"] == 2
+
+    def test_idempotent_ops_are_not_deduped(self, service):
+        one = send(service, op="query", req_id="q-1")
+        two = send(service, op="query", req_id="q-1")
+        assert one["ok"] and two["ok"]
+        assert "duplicate" not in two["result"]
+
+    def test_dedupe_window_is_bounded(self):
+        service = AlarmService(
+            ServiceConfig(horizon=HORIZON, clock="manual", dedupe_window=2)
+        )
+        for n in range(3):
+            reply = send(service, op="register", id=n,
+                         alarm=spec(), req_id=f"w-{n}")
+            assert reply["ok"], reply
+        # "w-0" was evicted: replaying it now applies a fresh mutation.
+        replay = send(service, op="register", id=9, alarm=spec(),
+                      req_id="w-0")
+        assert replay["ok"] is True
+        assert "duplicate" not in replay["result"]
+        assert send(service, op="query")["result"]["registered"] == 4
+
+    def test_dedupe_survives_a_crash(self, tmp_path):
+        config = ServiceConfig(
+            horizon=HORIZON, clock="manual", checkpoint_dir=str(tmp_path)
+        )
+        victim = AlarmService(config)
+        first = send(victim, op="register", id=1, alarm=spec(),
+                     req_id="crash-1")
+        assert first["ok"]
+        del victim  # the reply never reached the client
+
+        survivor = AlarmService.resume(config)
+        replay = send(survivor, op="register", id=2, alarm=spec(),
+                      req_id="crash-1")
+        assert replay["result"]["duplicate"] is True
+        assert replay["result"]["alarm_id"] == first["result"]["alarm_id"]
+        assert send(survivor, op="query")["result"]["registered"] == 1

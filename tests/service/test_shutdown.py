@@ -1,0 +1,105 @@
+"""Graceful shutdown: SIGTERM/SIGINT land a final watermark and exit 0."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceJournal
+
+HORIZON = 3_600_000
+
+
+def _spawn_serve(checkpoint_dir, *extra):
+    argv = [
+        sys.executable, "-m", "repro.analysis.cli", "serve",
+        "--policy", "simty", "--horizon", str(HORIZON),
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--tcp", "127.0.0.1:0",
+        *extra,
+    ]
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    return subprocess.Popen(
+        argv,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def _wait_for_port(process, timeout_s=30.0):
+    """Parse the bound port from the daemon's stderr banner."""
+    deadline = time.monotonic() + timeout_s
+    for line in process.stderr:
+        if "listening on tcp://" in line:
+            return int(line.rsplit(":", 1)[1])
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            break
+    raise AssertionError("daemon never announced its TCP port")
+
+
+def _request(port, payload, timeout=10.0):
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as conn:
+        conn.sendall((json.dumps(payload) + "\n").encode())
+        with conn.makefile("r", encoding="utf-8") as reader:
+            return json.loads(reader.readline())
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_checkpoints_and_exits_zero(tmp_path, signum):
+    process = _spawn_serve(tmp_path)
+    try:
+        port = _wait_for_port(process)
+        reply = _request(
+            port,
+            {"op": "register", "alarm": {"app": "mail", "label": "sync",
+                                         "nominal": 60_000,
+                                         "interval": 300_000,
+                                         "grace": 120_000}},
+        )
+        assert reply["ok"], reply
+        advanced = _request(port, {"op": "advance", "to": 120_000})
+        assert advanced["ok"], advanced
+
+        process.send_signal(signum)
+        assert process.wait(timeout=30) == 0
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+    stderr = process.stderr.read()
+    assert "graceful shutdown" in stderr
+
+    journal = ServiceJournal.at(tmp_path)
+    assert journal.last_watermark() >= 120_000
+    kinds = [entry["kind"] for entry in journal.entries]
+    assert kinds.count("register") == 1
+    # The daemon refuses new work after the signal but the journal is
+    # complete: a resume sees the full accepted history.
+    assert journal.entries[-1]["kind"] == "watermark"
+
+
+def test_second_signal_is_idempotent(tmp_path):
+    process = _spawn_serve(tmp_path)
+    try:
+        port = _wait_for_port(process)
+        assert _request(port, {"op": "query"})["ok"]
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.send_signal(signal.SIGTERM)
+        except ProcessLookupError:  # already gone: fine
+            pass
+        assert process.wait(timeout=30) == 0
+    finally:
+        process.kill()
+        process.wait(timeout=30)
