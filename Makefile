@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench paper validate examples serve-smoke chaos-smoke clean
+.PHONY: install test bench paper validate examples serve-smoke chaos-smoke fleet-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,10 @@ serve-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py --log chaos-smoke.log \
 		--journal-dir chaos-smoke-journals
+
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py --log fleet-smoke.log \
+		--journal-dir fleet-smoke-journals
 
 examples:
 	@for script in examples/*.py; do \

@@ -13,8 +13,11 @@ All output is plain text, matching the layouts in the paper.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+from ..fleet import ARCHETYPE_SETS, FleetConfig, make_population, run_fleet
 
 from ..metrics.delay import delay_report
 from ..metrics.wakeups import wakeup_breakdown
@@ -367,6 +370,101 @@ def _build_parser() -> argparse.ArgumentParser:
             "for transport faults — see docs/robustness.md)"
         ),
     )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "simulate a sharded device population with resumable shards, "
+            "poison-device quarantine and constant-memory aggregation"
+        ),
+    )
+    fleet.add_argument(
+        "--devices",
+        type=_positive_int,
+        default=1000,
+        metavar="N",
+        help="population size",
+    )
+    fleet.add_argument(
+        "--archetypes",
+        choices=sorted(ARCHETYPE_SETS),
+        default="standard",
+        help="device archetype mix",
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="population seed")
+    fleet.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="deterministic contiguous shards the population splits into",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help="shard worker processes (0 = run shards in-process)",
+    )
+    fleet.add_argument(
+        "--fleet-dir",
+        metavar="PATH",
+        default=None,
+        help="directory for shard journals (required for --resume)",
+    )
+    fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="trust sealed shard journals in --fleet-dir; re-run the rest",
+    )
+    fleet.add_argument(
+        "--quarantine-dir",
+        metavar="PATH",
+        default=None,
+        help="where poison-device reproducers land (default: fleet-dir/quarantine)",
+    )
+    fleet.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the full fleet report as JSON",
+    )
+    fleet.add_argument(
+        "--device-retries",
+        type=_nonnegative_int,
+        default=1,
+        metavar="N",
+        help="retries per device before quarantine",
+    )
+    fleet.add_argument(
+        "--device-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for one device attempt",
+    )
+    fleet.add_argument(
+        "--shard-retries",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help="re-runs of a crashed or straggling shard before it is FAILED",
+    )
+    fleet.add_argument(
+        "--memory-watermark",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="max RunRecords buffered per shard before an early reduction",
+    )
+    fleet.add_argument(
+        "--coverage-threshold",
+        type=float,
+        default=0.95,
+        metavar="FRACTION",
+        help="completed-device fraction below which percentiles are withheld",
+    )
+    _add_telemetry_args(fleet)
 
     requests_cmd = sub.add_parser(
         "requests",
@@ -919,6 +1017,43 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    if args.resume and args.fleet_dir is None:
+        print("--resume requires --fleet-dir (journals live there)", file=sys.stderr)
+        return 2
+    population = make_population(
+        args.devices, archetypes=args.archetypes, seed=args.seed
+    )
+    config = FleetConfig(
+        shards=args.shards,
+        workers=args.workers,
+        device_retries=args.device_retries,
+        device_timeout_s=args.device_timeout,
+        shard_retries=args.shard_retries,
+        memory_watermark=args.memory_watermark,
+        coverage_threshold=args.coverage_threshold,
+        quarantine_dir=args.quarantine_dir,
+    )
+    hub = _telemetry_hub(args)
+    report = run_fleet(
+        population,
+        config,
+        fleet_dir=args.fleet_dir,
+        resume=args.resume,
+        telemetry=hub,
+    )
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nreport written to {args.report}")
+    _finish_telemetry(args, hub)
+    # A fleet with FAILED shards delivered a partial result; say so in the
+    # exit code too, so CI and scripts cannot mistake it for a clean run.
+    return 1 if report.shard_stats.get("failed") else 0
+
+
 def _command_requests(args: argparse.Namespace) -> int:
     builder = WORKLOAD_BUILDERS[args.workload]
     workload = builder(_scenario_config(args.beta))
@@ -952,6 +1087,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "serve": _command_serve,
     "requests": _command_requests,
+    "fleet": _command_fleet,
 }
 
 

@@ -1,0 +1,512 @@
+"""Constant-memory fleet aggregation: summaries that merge, never grow.
+
+A million-device sweep cannot hold a million :class:`RunRecord`\\ s — each
+carries a full trace.  The fleet therefore reduces *streamingly*: every
+completed device collapses into a tiny :class:`DeviceSummary`, device
+summaries fold into a per-shard :class:`ShardSummary`, and shard summaries
+merge into the fleet report.  Everything here is plain data (dict
+round-trippable, picklable, journal-able) and every merge is commutative
+and associative, so the merged result is independent of shard count,
+completion order, and how many times a crashed shard was re-run — the
+property the chaos suite asserts byte-for-byte.
+
+Three aggregate kinds:
+
+* **Tallies** — device outcomes (:class:`~repro.runner.record.RunStatus`
+  values plus ``"quarantined"``) and invariant-violation counts, overall
+  and per archetype.  These ride through every merge so a fleet report
+  can state per-archetype failure and violation *rates*, not just means.
+* **Histograms** — power-of-two bucketed (:class:`Hist`), the same shape
+  the telemetry hub uses, with a percentile estimator that reports a
+  bucket upper bound (pessimistic, never flattering).
+* **Reservoir** — a bounded exemplar sample of device summaries.  Rather
+  than classic reservoir sampling (whose content depends on stream
+  order), the fleet keeps the ``k`` devices with the smallest
+  *rank* — a hash of (population digest, device index) — which is a
+  uniform sample, yet merge-order independent and stable under resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs.summary import TelemetrySummary, merge_summaries
+from ..runner.record import RunRecord
+
+__all__ = [
+    "DeviceSummary",
+    "Hist",
+    "QuarantineRecord",
+    "ShardSummary",
+    "histogram_percentile",
+    "merge_shard_summaries",
+]
+
+#: Outcome label used for quarantined devices in status tallies (the
+#: RunStatus values cover every other outcome).
+QUARANTINED = "quarantined"
+
+
+# ----------------------------------------------------------------------
+# Power-of-two histogram
+# ----------------------------------------------------------------------
+#: Histogram totals accumulate in integer milli-units.  Float addition is
+#: not associative, and the chaos suite byte-compares reports produced
+#: with different merge groupings (shards=1 vs shards=8, clean vs
+#: resumed) — integer sums make every grouping exactly equal.
+TOTAL_SCALE = 1000
+
+
+@dataclass
+class Hist:
+    """A mergeable power-of-two histogram over non-negative values."""
+
+    count: int = 0
+    #: Sum of observations in milli-units (see :data:`TOTAL_SCALE`).
+    total_milli: int = 0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, float(value))
+        self.count += 1
+        self.total_milli += int(round(value * TOTAL_SCALE))
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    def merge(self, other: "Hist") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total_milli += other.total_milli
+        self.min = other.min if self.min is None else min(self.min, other.min)
+        self.max = other.max if self.max is None else max(self.max, other.max)
+        for bound, n in other.buckets.items():
+            self.buckets[bound] = self.buckets.get(bound, 0) + n
+
+    @property
+    def total(self) -> float:
+        return self.total_milli / TOTAL_SCALE
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "total_milli": self.total_milli,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[bound, n] for bound, n in sorted(self.buckets.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Hist":
+        return cls(
+            count=int(payload.get("count", 0)),
+            total_milli=int(payload.get("total_milli", 0)),
+            min=payload.get("min"),
+            max=payload.get("max"),
+            buckets={
+                int(bound): int(n) for bound, n in payload.get("buckets", [])
+            },
+        )
+
+
+def histogram_percentile(hist: Hist, quantile: float) -> Optional[float]:
+    """Estimate a percentile as the covering bucket's upper bound.
+
+    Power-of-two buckets cannot resolve a value inside a bucket, so the
+    estimate is the bucket's upper bound clamped to the observed max —
+    pessimistic by construction.  Returns ``None`` on an empty histogram.
+    """
+    if hist.count == 0:
+        return None
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    needed = quantile * hist.count
+    running = 0
+    for bound, n in sorted(hist.buckets.items()):
+        running += n
+        if running >= needed:
+            upper = float(bound)
+            return min(upper, hist.max) if hist.max is not None else upper
+    return hist.max
+
+
+# ----------------------------------------------------------------------
+# Per-device reduction
+# ----------------------------------------------------------------------
+#: Normalized delays are fractions in [0, 1]; histogram them in parts
+#: per million so the integer buckets keep ~6 significant digits.
+DELAY_SCALE = 1_000_000
+
+
+@dataclass(frozen=True)
+class DeviceSummary:
+    """Everything the fleet keeps about one completed device (~100 bytes,
+    vs. megabytes for the RunRecord it reduces)."""
+
+    device: int
+    archetype: str
+    rank: str  # hex sampling rank; smallest-k form the reservoir
+    status: str
+    wakeups: int
+    energy_mj: float
+    imperceptible_delay: float
+    perceptible_delay: float
+    violations: int
+
+    @classmethod
+    def from_record(
+        cls, record: RunRecord, device: int, archetype: str, rank: str
+    ) -> "DeviceSummary":
+        """Reduce a RunRecord, carrying status and violation_count along
+        (dropping either here would silently zero the fleet's
+        per-archetype failure and violation rates)."""
+        result = record.result
+        return cls(
+            device=device,
+            archetype=archetype,
+            rank=rank,
+            status=record.status.value,
+            wakeups=result.wakeups.cpu.delivered if result else 0,
+            energy_mj=result.energy.total_mj if result else 0.0,
+            imperceptible_delay=(
+                result.delays.imperceptible.mean if result else 0.0
+            ),
+            perceptible_delay=(
+                result.delays.perceptible.mean if result else 0.0
+            ),
+            violations=record.violation_count,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "device": self.device,
+            "archetype": self.archetype,
+            "rank": self.rank,
+            "status": self.status,
+            "wakeups": self.wakeups,
+            "energy_mj": self.energy_mj,
+            "imperceptible_delay": self.imperceptible_delay,
+            "perceptible_delay": self.perceptible_delay,
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DeviceSummary":
+        return cls(**{k: payload[k] for k in (
+            "device", "archetype", "rank", "status", "wakeups", "energy_mj",
+            "imperceptible_delay", "perceptible_delay", "violations",
+        )})
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A poison device: who, what failed, and how to reproduce it.
+
+    ``digest`` is the device's :meth:`RunSpec.digest` — together with the
+    population digest and device index it is a complete reproducer
+    (``population.device(index).run`` rebuilds the exact spec).
+    """
+
+    device: int
+    archetype: str
+    digest: str
+    error_type: str
+    error_message: str
+    attempts: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "device": self.device,
+            "archetype": self.archetype,
+            "digest": self.digest,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "QuarantineRecord":
+        return cls(**{k: payload[k] for k in (
+            "device", "archetype", "digest", "error_type", "error_message",
+            "attempts",
+        )})
+
+
+# ----------------------------------------------------------------------
+# Shard summary (the unit that journals, crosses processes, and merges)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSummary:
+    """The constant-memory reduction of one shard (or a merge of many).
+
+    Memory is bounded by ``reservoir_size`` + the tally dict sizes
+    (archetype count x status count), independent of device count.
+    ``timing`` holds wall-clock measurements; it is carried through
+    dict round trips for operators but **excluded from merges and from
+    the deterministic report payload** — timings differ between an
+    uninterrupted run and a chaos-resumed one even when the population
+    results are identical.
+    """
+
+    population: str
+    shard: int = 0
+    lo: int = 0
+    hi: int = 0
+    completed: int = 0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    archetype_status: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    violations: int = 0
+    archetype_violations: Dict[str, int] = field(default_factory=dict)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    energy_mj: Hist = field(default_factory=Hist)
+    delay_ppm: Hist = field(default_factory=Hist)
+    wakeups: Hist = field(default_factory=Hist)
+    reservoir: List[DeviceSummary] = field(default_factory=list)
+    reservoir_size: int = 32
+    peak_live_records: int = 0
+    telemetry: Optional[TelemetrySummary] = None
+    timing: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Streaming observation
+    # ------------------------------------------------------------------
+    def observe(self, summary: DeviceSummary) -> None:
+        """Fold one completed device in (constant time and memory)."""
+        self.completed += 1
+        self._tally(summary.archetype, summary.status)
+        if summary.violations:
+            self.violations += summary.violations
+            self.archetype_violations[summary.archetype] = (
+                self.archetype_violations.get(summary.archetype, 0)
+                + summary.violations
+            )
+        self.energy_mj.observe(summary.energy_mj)
+        self.delay_ppm.observe(summary.imperceptible_delay * DELAY_SCALE)
+        self.wakeups.observe(summary.wakeups)
+        self._admit_reservoir(summary)
+
+    def observe_quarantine(self, record: QuarantineRecord) -> None:
+        """Fold one poison device in (counted, listed, never aggregated)."""
+        self.quarantined.append(record)
+        self._tally(record.archetype, QUARANTINED)
+
+    def _tally(self, archetype: str, status: str) -> None:
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        per = self.archetype_status.setdefault(archetype, {})
+        per[status] = per.get(status, 0) + 1
+
+    def _admit_reservoir(self, summary: DeviceSummary) -> None:
+        self.reservoir.append(summary)
+        if len(self.reservoir) > self.reservoir_size:
+            self.reservoir.sort(key=lambda entry: (entry.rank, entry.device))
+            del self.reservoir[self.reservoir_size:]
+
+    # ------------------------------------------------------------------
+    # Merging (commutative, associative; used shard -> fleet)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ShardSummary") -> None:
+        """Fold ``other`` in.  Population digests must match — merging
+        summaries of different populations is always a bug."""
+        if other.population != self.population:
+            raise ValueError(
+                f"cannot merge summaries of different populations "
+                f"({self.population[:12]} vs {other.population[:12]})"
+            )
+        self.completed += other.completed
+        for status, n in other.status_counts.items():
+            self.status_counts[status] = self.status_counts.get(status, 0) + n
+        for archetype, per in other.archetype_status.items():
+            mine = self.archetype_status.setdefault(archetype, {})
+            for status, n in per.items():
+                mine[status] = mine.get(status, 0) + n
+        self.violations += other.violations
+        for archetype, n in other.archetype_violations.items():
+            self.archetype_violations[archetype] = (
+                self.archetype_violations.get(archetype, 0) + n
+            )
+        self.quarantined.extend(other.quarantined)
+        self.quarantined.sort(key=lambda record: record.device)
+        self.energy_mj.merge(other.energy_mj)
+        self.delay_ppm.merge(other.delay_ppm)
+        self.wakeups.merge(other.wakeups)
+        self.reservoir.extend(other.reservoir)
+        self.reservoir.sort(key=lambda entry: (entry.rank, entry.device))
+        del self.reservoir[self.reservoir_size:]
+        self.peak_live_records = max(
+            self.peak_live_records, other.peak_live_records
+        )
+        self.lo = min(self.lo, other.lo)
+        self.hi = max(self.hi, other.hi)
+        if other.telemetry is not None:
+            self.telemetry = (
+                other.telemetry
+                if self.telemetry is None
+                else merge_summaries([self.telemetry, other.telemetry])
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def quarantined_count(self) -> int:
+        return self.status_counts.get(QUARANTINED, 0)
+
+    def archetype_rates(self) -> Dict[str, Dict[str, float]]:
+        """Per archetype: devices seen, failure rate, violation rate."""
+        rates: Dict[str, Dict[str, float]] = {}
+        for archetype, per in sorted(self.archetype_status.items()):
+            seen = sum(per.values())
+            bad = sum(
+                n for status, n in per.items()
+                if status not in ("ok", "retried_ok")
+            )
+            rates[archetype] = {
+                "devices": seen,
+                "failure_rate": bad / seen if seen else 0.0,
+                "violations": self.archetype_violations.get(archetype, 0),
+                "violation_rate": (
+                    self.archetype_violations.get(archetype, 0) / seen
+                    if seen
+                    else 0.0
+                ),
+            }
+        return rates
+
+    # ------------------------------------------------------------------
+    # Dict round trip (journal seal lines, process boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "population": self.population,
+            "shard": self.shard,
+            "lo": self.lo,
+            "hi": self.hi,
+            "completed": self.completed,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "archetype_status": {
+                archetype: dict(sorted(per.items()))
+                for archetype, per in sorted(self.archetype_status.items())
+            },
+            "violations": self.violations,
+            "archetype_violations": dict(
+                sorted(self.archetype_violations.items())
+            ),
+            "quarantined": [
+                record.to_dict()
+                for record in sorted(
+                    self.quarantined, key=lambda r: r.device
+                )
+            ],
+            "energy_mj": self.energy_mj.to_dict(),
+            "delay_ppm": self.delay_ppm.to_dict(),
+            "wakeups": self.wakeups.to_dict(),
+            "reservoir": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.reservoir, key=lambda e: (e.rank, e.device)
+                )
+            ],
+            "reservoir_size": self.reservoir_size,
+            "peak_live_records": self.peak_live_records,
+            "telemetry": (
+                self.telemetry.to_dict() if self.telemetry is not None else None
+            ),
+            "timing": dict(self.timing),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ShardSummary":
+        telemetry = payload.get("telemetry")
+        return cls(
+            population=payload["population"],
+            shard=int(payload.get("shard", 0)),
+            lo=int(payload.get("lo", 0)),
+            hi=int(payload.get("hi", 0)),
+            completed=int(payload.get("completed", 0)),
+            status_counts={
+                str(k): int(v)
+                for k, v in payload.get("status_counts", {}).items()
+            },
+            archetype_status={
+                str(archetype): {str(k): int(v) for k, v in per.items()}
+                for archetype, per in payload.get("archetype_status", {}).items()
+            },
+            violations=int(payload.get("violations", 0)),
+            archetype_violations={
+                str(k): int(v)
+                for k, v in payload.get("archetype_violations", {}).items()
+            },
+            quarantined=[
+                QuarantineRecord.from_dict(entry)
+                for entry in payload.get("quarantined", [])
+            ],
+            energy_mj=Hist.from_dict(payload.get("energy_mj", {})),
+            delay_ppm=Hist.from_dict(payload.get("delay_ppm", {})),
+            wakeups=Hist.from_dict(payload.get("wakeups", {})),
+            reservoir=[
+                DeviceSummary.from_dict(entry)
+                for entry in payload.get("reservoir", [])
+            ],
+            reservoir_size=int(payload.get("reservoir_size", 32)),
+            peak_live_records=int(payload.get("peak_live_records", 0)),
+            telemetry=(
+                TelemetrySummary.from_dict(telemetry)
+                if telemetry is not None
+                else None
+            ),
+            timing={
+                str(k): float(v)
+                for k, v in payload.get("timing", {}).items()
+            },
+        )
+
+
+def merge_shard_summaries(
+    summaries: Sequence[ShardSummary], reservoir_size: Optional[int] = None
+) -> ShardSummary:
+    """Merge shard summaries into one fleet-level summary.
+
+    The merge is order-independent: tallies and histograms are
+    commutative sums, the reservoir is the global smallest-``k`` by rank,
+    and quarantine lists sort by device index.
+    """
+    if not summaries:
+        raise ValueError("nothing to merge")
+    size = (
+        reservoir_size
+        if reservoir_size is not None
+        else max(summary.reservoir_size for summary in summaries)
+    )
+    merged = ShardSummary(
+        population=summaries[0].population,
+        shard=-1,
+        lo=summaries[0].lo,
+        hi=summaries[0].hi,
+        reservoir_size=size,
+    )
+    for summary in summaries:
+        merged.merge(
+            summary
+            if summary.reservoir_size == size
+            else replace_reservoir_size(summary, size)
+        )
+    return merged
+
+
+def replace_reservoir_size(summary: ShardSummary, size: int) -> ShardSummary:
+    clone = ShardSummary.from_dict(summary.to_dict())
+    clone.reservoir_size = size
+    clone.reservoir.sort(key=lambda entry: (entry.rank, entry.device))
+    del clone.reservoir[size:]
+    return clone

@@ -133,6 +133,20 @@ class TelemetrySummary:
                 cells[tuple(sorted(labels.items()))] = value
         return cells
 
+    def counter_by_label(self, name: str, label: str) -> Dict[str, int]:
+        """One counter's cells grouped by a single label's value.
+
+        ``counter_by_label("fleet.shards", "status")`` →
+        ``{"completed": 7, "retried": 2}``; cells lacking the label are
+        ignored, cells differing only in *other* labels sum together.
+        """
+        out: Dict[str, int] = {}
+        for key, value in self.counters.items():
+            base, labels = split_metric(key)
+            if base == name and label in labels:
+                out[labels[label]] = out.get(labels[label], 0) + value
+        return out
+
     def span_total_ms(self, name: str) -> float:
         span = self.spans.get(name)
         return span.total_ms if span is not None else 0.0

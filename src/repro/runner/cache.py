@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -33,6 +34,12 @@ from typing import List, Optional, Union
 
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .record import ExperimentResult, RunRecord
+
+#: A ``*.tmp`` file this much older than "now" is an orphan from a writer
+#: that crashed between its temp write and the atomic rename.  The margin
+#: is generous — a *live* writer's temp is seconds old at most — so the
+#: init-time sweep can never race an in-flight put from another process.
+STALE_TMP_AGE_S = 900.0
 
 
 @dataclass
@@ -47,6 +54,10 @@ class CacheStats:
     #: In-memory entries dropped by the LRU bound (``max_memory_entries``).
     #: Disk entries, when enabled, are never evicted.
     evictions: int = 0
+    #: Orphaned ``*.tmp`` files (crashed mid-rename writers) swept from the
+    #: disk layer.  They are never loadable — ``get`` only opens
+    #: ``<digest>.pkl`` — so sweeping reclaims space, not correctness.
+    stale_tmp: int = 0
 
     @property
     def lookups(self) -> int:
@@ -86,6 +97,8 @@ class ResultCache:
             self._disk_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self._disk_dir is not None:
+            self.sweep_stale_tmp()
         #: Every RunRecord resolved through this cache, in submission
         #: order — the CLI's ``--stats`` summary table reads this log.
         self.records: List[RunRecord] = []
@@ -156,6 +169,38 @@ class ResultCache:
             except BaseException:
                 tmp.unlink(missing_ok=True)
                 raise
+
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Remove orphaned temp files left by writers that crashed mid-rename.
+
+        A crash between :meth:`put`'s temp write and its atomic rename
+        leaves ``<digest>.pkl.<pid>.<uuid>.tmp`` behind.  Such a file can
+        never be *loaded* (lookups only open ``<digest>.pkl``), but a
+        fleet of shard workers sharing one cache dir would accumulate
+        them without bound.  Files younger than ``max_age_s`` are left
+        alone — they may belong to a concurrent writer still in flight.
+        Runs automatically on construction; returns the number swept.
+        """
+        if self._disk_dir is None:
+            return 0
+        now = time.time()
+        swept = 0
+        for tmp in self._disk_dir.glob("*.pkl.*.tmp"):
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue  # already gone: another sweeper won the race
+            if age < max_age_s:
+                continue
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - racing sweepers
+                pass
+        if swept:
+            self.stats.stale_tmp += swept
+            self.telemetry.count("cache.tmp_swept", swept)
+        return swept
 
     def _admit(self, digest: str, result: ExperimentResult) -> None:
         """Insert into the memory layer, evicting LRU entries past the cap.

@@ -50,6 +50,11 @@ class SyntheticConfig:
     hardware_pool: Sequence[Tuple[HardwareSet, float]] = DEFAULT_HARDWARE_POOL
     task_range_ms: Tuple[int, int] = (200, 4_000)
     horizon: int = THREE_HOURS_MS
+    #: Fraction of apps registering *mid-run* (uniformly over the first
+    #: half of the horizon) instead of at t=0 — the "churn profile" knob
+    #: fleet archetypes sample.  0.0 (the default) draws nothing extra
+    #: from the RNG, so existing seeds generate byte-identical workloads.
+    churn_fraction: float = 0.0
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -59,6 +64,8 @@ class SyntheticConfig:
             raise ValueError("dynamic fraction must be a probability")
         if not 0.0 <= self.beta < 1.0:
             raise ValueError("beta must be in [0, 1)")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn fraction must be a probability")
 
 
 def generate(config: SyntheticConfig, seed: Optional[int] = None) -> Workload:
@@ -83,7 +90,13 @@ def generate(config: SyntheticConfig, seed: Optional[int] = None) -> Workload:
         dynamic = rng.random() < config.dynamic_fraction
         hardware = rng.choices(hardware_sets, weights=weights, k=1)[0]
         task_ms = rng.randint(*config.task_range_ms)
-        first_nominal = period + rng.randrange(0, max(1, period // 2))
+        # Churn draws are gated on the knob being set at all: with the
+        # default 0.0 the RNG stream is untouched and historic seeds (and
+        # their RunSpec digests' meanings) are preserved.
+        start_time = 0
+        if config.churn_fraction > 0.0 and rng.random() < config.churn_fraction:
+            start_time = rng.randrange(0, max(1, config.horizon // 2))
+        first_nominal = start_time + period + rng.randrange(0, max(1, period // 2))
         alarm = Alarm(
             app=f"synthetic-{index}",
             label=f"synthetic-{index}",
@@ -96,7 +109,7 @@ def generate(config: SyntheticConfig, seed: Optional[int] = None) -> Workload:
             hardware=hardware,
             task_duration=task_ms,
         )
-        registrations.append(Registration(time=0, alarm=alarm))
+        registrations.append(Registration(time=start_time, alarm=alarm))
     return Workload(
         name=f"synthetic-{config.app_count}-seed{config.seed}",
         registrations=registrations,

@@ -1,0 +1,18 @@
+"""Shared fixtures for the fleet suite."""
+
+import pytest
+
+from repro.fleet import uninstall_chaos_workload
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_registry():
+    """Strip ``fleet-chaos`` from the default registry after every test.
+
+    In-process fleet runs (serial mode, the module-scoped chaos
+    references) install the chaos workload on the *test process's*
+    default registry; without this the rest of the suite — notably the
+    registry's ``workload_names()`` contract test — would see it.
+    """
+    yield
+    uninstall_chaos_workload()

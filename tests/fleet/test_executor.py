@@ -1,0 +1,245 @@
+"""Fleet executor: sharding, journals, resume, quarantine, coverage.
+
+Everything here runs shards *in-process* (``workers=0``) so the tests are
+deterministic and fast; the subprocess scheduling, kill-chaos and
+straggler paths live in ``test_chaos_fleet.py``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetResumeError,
+    MICRO_ARCHETYPES,
+    PopulationSpec,
+    make_population,
+    plan_shards,
+    poison_archetype,
+    run_fleet,
+    shard_journal_path,
+)
+from repro.fleet.executor import load_sealed_summary, run_shard, ShardPlan
+from repro.obs import Telemetry
+
+CFG = FleetConfig(
+    shards=4,
+    workers=0,
+    device_retries=1,
+    device_backoff_s=0.001,
+    memory_watermark=8,
+    reservoir_size=8,
+)
+
+
+def micro(size=24, seed=0):
+    return make_population(size, archetypes="micro", seed=seed)
+
+
+def poisoned(size=40, seed=5, weight=0.1):
+    return PopulationSpec(
+        size=size,
+        archetypes=MICRO_ARCHETYPES + (poison_archetype(weight=weight),),
+        seed=seed,
+        name="poisoned",
+    )
+
+
+class TestPlanShards:
+    def test_partition_is_contiguous_and_complete(self):
+        plans = plan_shards(103, 8)
+        assert plans[0].lo == 0 and plans[-1].hi == 103
+        for before, after in zip(plans, plans[1:]):
+            assert before.hi == after.lo
+        assert max(p.size for p in plans) - min(p.size for p in plans) <= 1
+
+    def test_more_shards_than_devices_collapses(self):
+        plans = plan_shards(3, 16)
+        assert len(plans) == 3
+        assert [p.size for p in plans] == [1, 1, 1]
+
+
+class TestShardEquivalence:
+    def test_shards_1_vs_8_byte_identical(self, tmp_path):
+        """The issue's RNG-derivation satellite: shard count must not
+        change any device, so the merged deterministic payloads match
+        byte for byte."""
+        population = micro(size=32)
+        one = run_fleet(
+            population,
+            dataclasses.replace(CFG, shards=1),
+            fleet_dir=tmp_path / "one",
+        )
+        eight = run_fleet(
+            population,
+            dataclasses.replace(CFG, shards=8),
+            fleet_dir=tmp_path / "eight",
+        )
+        assert json.dumps(one.deterministic_payload(), sort_keys=True) == (
+            json.dumps(eight.deterministic_payload(), sort_keys=True)
+        )
+
+
+class TestJournalAndResume:
+    def test_sealed_journal_loads_back(self, tmp_path):
+        population = micro(size=8)
+        plan = ShardPlan(shard=0, lo=0, hi=8)
+        summary = run_shard(population, plan, CFG, tmp_path)
+        loaded = load_sealed_summary(
+            shard_journal_path(tmp_path, 0), population.digest(), plan
+        )
+        assert loaded is not None
+        assert loaded.completed == summary.completed
+        assert loaded.to_dict()["status_counts"] == (
+            summary.to_dict()["status_counts"]
+        )
+
+    def test_resume_skips_sealed_shards(self, tmp_path):
+        population = micro()
+        first = run_fleet(population, CFG, fleet_dir=tmp_path)
+        second = run_fleet(population, CFG, fleet_dir=tmp_path, resume=True)
+        assert second.shard_stats["resumed"] == 4
+        assert second.shard_stats["completed"] == 0
+        assert json.dumps(first.deterministic_payload(), sort_keys=True) == (
+            json.dumps(second.deterministic_payload(), sort_keys=True)
+        )
+
+    def test_resume_reruns_missing_and_unsealed_shards(self, tmp_path):
+        population = micro()
+        run_fleet(population, CFG, fleet_dir=tmp_path)
+        # Delete one journal, tear the seal off another.
+        shard_journal_path(tmp_path, 1).unlink()
+        path = shard_journal_path(tmp_path, 2)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the seal
+        report = run_fleet(population, CFG, fleet_dir=tmp_path, resume=True)
+        assert report.shard_stats["resumed"] == 2
+        assert report.shard_stats["completed"] == 2
+        assert report.completed == population.size
+
+    def test_resume_refuses_foreign_population(self, tmp_path):
+        run_fleet(micro(seed=0), CFG, fleet_dir=tmp_path)
+        with pytest.raises(FleetResumeError, match="refusing to resume"):
+            run_fleet(micro(seed=1), CFG, fleet_dir=tmp_path, resume=True)
+
+    def test_resume_requires_fleet_dir(self):
+        with pytest.raises(ValueError, match="fleet_dir"):
+            run_fleet(micro(), CFG, resume=True)
+
+
+class TestQuarantine:
+    def test_poison_devices_quarantined_not_retried_forever(self, tmp_path):
+        population = poisoned()
+        report = run_fleet(population, CFG, fleet_dir=tmp_path)
+        assert report.quarantined > 0
+        assert report.completed + report.quarantined == population.size
+        for record in report.summary.quarantined:
+            assert record.archetype == "poison"
+            assert record.error_type == "RuntimeError"
+            assert record.attempts == CFG.device_retries + 1
+            # the reproducer digest rebuilds the exact failing spec
+            device = population.device(record.device)
+            assert device.digest == record.digest
+
+    def test_reproducer_files_written(self, tmp_path):
+        population = poisoned()
+        report = run_fleet(population, CFG, fleet_dir=tmp_path)
+        quarantine_dir = tmp_path / "quarantine"
+        files = sorted(quarantine_dir.glob("device-*.json"))
+        assert len(files) == report.quarantined
+        payload = json.loads(files[0].read_text())
+        assert payload["population"] == population.digest()
+        assert payload["error_type"] == "RuntimeError"
+        assert not list(quarantine_dir.glob("*.tmp"))
+
+    def test_explicit_quarantine_dir_honored(self, tmp_path):
+        config = dataclasses.replace(
+            CFG, quarantine_dir=str(tmp_path / "poison-box")
+        )
+        run_fleet(poisoned(), config, fleet_dir=tmp_path / "fleet")
+        assert list((tmp_path / "poison-box").glob("device-*.json"))
+
+
+class TestMemoryWatermark:
+    def test_peak_live_records_bounded(self, tmp_path):
+        config = dataclasses.replace(CFG, shards=2, memory_watermark=5)
+        report = run_fleet(micro(size=30), config, fleet_dir=tmp_path)
+        assert 0 < report.summary.peak_live_records <= 5
+        assert report.completed == 30
+
+    def test_early_reductions_counted_in_timing(self, tmp_path):
+        config = dataclasses.replace(CFG, shards=1, memory_watermark=4)
+        population = micro(size=12)
+        summary = run_shard(
+            population, ShardPlan(shard=0, lo=0, hi=12), config, tmp_path
+        )
+        assert summary.timing["reductions"] >= 3
+
+
+class TestCoverage:
+    def test_full_coverage_prints_percentiles(self, tmp_path):
+        report = run_fleet(micro(), CFG, fleet_dir=tmp_path)
+        assert report.coverage == 1.0
+        assert not report.percentiles_withheld
+        assert report.percentiles() is not None
+        assert "p99" in report.render()
+
+    def test_quarantine_lowers_coverage_and_withholds(self, tmp_path):
+        config = dataclasses.replace(CFG, coverage_threshold=0.999)
+        report = run_fleet(poisoned(), config, fleet_dir=tmp_path)
+        assert report.coverage < 1.0
+        assert report.percentiles_withheld
+        assert report.percentiles() is None
+        rendered = report.render()
+        assert "percentiles withheld" in rendered
+        assert "PARTIAL RESULT" in rendered
+
+    def test_report_always_states_the_three_counts(self, tmp_path):
+        report = run_fleet(poisoned(), CFG, fleet_dir=tmp_path)
+        line = report.render().splitlines()[1]
+        assert "attempted" in line
+        assert "completed" in line
+        assert "quarantined" in line
+        assert report.attempted_devices == (
+            report.completed + report.quarantined
+        )
+
+
+class TestReportPayloads:
+    def test_json_report_splits_population_from_execution(self, tmp_path):
+        report = run_fleet(micro(), CFG, fleet_dir=tmp_path)
+        payload = report.to_json()
+        assert set(payload) == {"population", "execution"}
+        deterministic = payload["population"]
+        assert "timing" not in deterministic["aggregate"]
+        assert "peak_live_records" not in deterministic["aggregate"]
+        assert payload["execution"]["wall_s"] > 0
+        json.dumps(payload)  # fully JSON-serializable
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(shards=0)
+        with pytest.raises(ValueError):
+            FleetConfig(workers=-1)
+        with pytest.raises(ValueError):
+            FleetConfig(memory_watermark=0)
+        with pytest.raises(ValueError):
+            FleetConfig(coverage_threshold=1.5)
+
+
+class TestFleetTelemetry:
+    def test_shard_device_and_reduce_metrics_emitted(self, tmp_path):
+        hub = Telemetry()
+        report = run_fleet(
+            poisoned(), CFG, fleet_dir=tmp_path, telemetry=hub
+        )
+        summary = hub.summary()
+        by_status = summary.counter_by_label("fleet.shards", "status")
+        assert by_status.get("completed") == 4
+        by_outcome = summary.counter_by_label("fleet.devices", "outcome")
+        assert by_outcome.get("ok", 0) > 0
+        assert by_outcome.get("quarantined") == report.quarantined
+        assert "fleet.reduce_latency_ms" in summary.histograms
+        assert "fleet.live_records" in summary.gauges

@@ -1,0 +1,131 @@
+"""Population specs: content addressing and shard-independent derivation."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import (
+    ARCHETYPE_SETS,
+    DeviceArchetype,
+    MICRO_ARCHETYPES,
+    PopulationSpec,
+    make_population,
+)
+
+
+def micro_population(size=50, seed=0, **changes):
+    population = make_population(size, archetypes="micro", seed=seed)
+    return (
+        dataclasses.replace(population, **changes) if changes else population
+    )
+
+
+class TestDigest:
+    def test_digest_is_stable_across_instances(self):
+        assert micro_population().digest() == micro_population().digest()
+
+    def test_every_knob_changes_the_digest(self):
+        base = micro_population().digest()
+        assert micro_population(size=51).digest() != base
+        assert micro_population(seed=1).digest() != base
+        assert micro_population(name="other").digest() != base
+        assert micro_population(queue_backend="list").digest() != base
+        assert micro_population(monitor=None).digest() != base
+
+    def test_archetype_change_changes_the_digest(self):
+        tweaked = MICRO_ARCHETYPES[:1] + (
+            dataclasses.replace(MICRO_ARCHETYPES[1], weight=0.5),
+        )
+        assert (
+            micro_population(archetypes=tweaked).digest()
+            != micro_population().digest()
+        )
+
+    def test_unknown_archetype_set_suggests_choices(self):
+        with pytest.raises(ValueError, match="standard"):
+            make_population(10, archetypes="nope")
+
+
+class TestDerivation:
+    def test_device_is_pure_in_index(self):
+        population = micro_population()
+        first = population.device(7)
+        again = population.device(7)
+        assert first.run.digest() == again.run.digest()
+        assert first.rank == again.rank
+        assert first.archetype == again.archetype
+
+    def test_devices_differ_from_each_other(self):
+        population = micro_population()
+        digests = {population.device(i).run.digest() for i in range(20)}
+        assert len(digests) == 20
+
+    def test_rank_is_populated_hex(self):
+        device = micro_population().device(3)
+        assert len(device.rank) == 16
+        int(device.rank, 16)  # parses as hex
+
+    def test_population_seed_changes_every_device(self):
+        a = micro_population(seed=0)
+        b = micro_population(seed=1)
+        assert a.device(5).run.digest() != b.device(5).run.digest()
+
+    def test_out_of_range_index_rejected(self):
+        population = micro_population(size=10)
+        with pytest.raises(IndexError):
+            population.device(10)
+        with pytest.raises(IndexError):
+            population.device(-1)
+
+    def test_archetype_weights_roughly_respected(self):
+        population = micro_population(size=400)
+        picks = [population.device(i).archetype for i in range(400)]
+        light = picks.count("micro-light") / len(picks)
+        # weight 0.6 of micro-light vs 0.4 of micro-heavy
+        assert 0.5 < light < 0.7
+
+    def test_sampled_kwargs_resolve_within_bounds(self):
+        population = micro_population(size=30)
+        for device in population.devices():
+            kwargs = dict(device.run.workload_kwargs)
+            assert 2 <= kwargs["app_count"] <= 4
+
+    def test_devices_slice_matches_indexing(self):
+        population = micro_population(size=20)
+        sliced = [d.run.digest() for d in population.devices(5, 9)]
+        direct = [population.device(i).run.digest() for i in range(5, 9)]
+        assert sliced == direct
+
+    def test_simulator_config_carried_onto_devices(self):
+        device = micro_population().device(0)
+        assert device.run.simulator.queue_backend == "indexed"
+        assert device.run.simulator.monitor == "record"
+
+
+class TestValidation:
+    def test_population_needs_devices_and_archetypes(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(size=0, archetypes=MICRO_ARCHETYPES)
+        with pytest.raises(ValueError):
+            PopulationSpec(size=10, archetypes=())
+
+    def test_duplicate_archetype_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PopulationSpec(
+                size=10, archetypes=MICRO_ARCHETYPES + MICRO_ARCHETYPES[:1]
+            )
+
+    def test_bad_sampler_specs_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            DeviceArchetype(name="x", sampled_kwargs={"n": ("gauss", 0, 1)})
+        with pytest.raises(ValueError, match="lo <= hi"):
+            DeviceArchetype(name="x", sampled_kwargs={"n": ("randint", 5, 2)})
+        with pytest.raises(ValueError, match="choice"):
+            DeviceArchetype(name="x", sampled_kwargs={"n": ("choice", ())})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            DeviceArchetype(name="x", weight=0.0)
+
+    def test_stock_sets_exposed(self):
+        assert set(ARCHETYPE_SETS) >= {"standard", "micro"}

@@ -271,3 +271,105 @@ class TestCacheTelemetry:
         assert summary.counter("cache.miss") == cache.stats.misses == 2
         assert summary.counter("cache.hit") == cache.stats.hits == 1
         assert summary.counter("cache.evict") == cache.stats.evictions == 1
+
+
+class TestCrashMidRename:
+    """Leftover ``*.tmp`` files from crashed writers: swept, never loaded."""
+
+    def _orphan(self, tmp_path, digest, age_s=3600.0, content=b"half-written"):
+        import os
+        import time
+
+        orphan = tmp_path / f"{digest}.pkl.99999.deadbeef.tmp"
+        orphan.write_bytes(content)
+        stamp = time.time() - age_s
+        os.utime(orphan, (stamp, stamp))
+        return orphan
+
+    def test_stale_tmp_swept_on_construction(self, tmp_path):
+        orphan = self._orphan(tmp_path, "a" * 64)
+        cache = ResultCache(disk_dir=tmp_path)
+        assert not orphan.exists()
+        assert cache.stats.stale_tmp == 1
+
+    def test_fresh_tmp_left_for_its_inflight_writer(self, tmp_path):
+        fresh = self._orphan(tmp_path, "a" * 64, age_s=0.0)
+        cache = ResultCache(disk_dir=tmp_path)
+        assert fresh.exists()  # may belong to a live concurrent put
+        assert cache.stats.stale_tmp == 0
+        # An explicit sweep with no grace period reclaims it.
+        assert cache.sweep_stale_tmp(max_age_s=0.0) == 1
+        assert not fresh.exists()
+
+    def test_orphaned_tmp_is_never_loaded(self, tmp_path):
+        """Even a *valid pickle* under a tmp name must read as a miss:
+        lookups only ever open ``<digest>.pkl``."""
+        import pickle
+
+        cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=cache)
+        payload = pickle.dumps(record.result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = "e" * 64
+        self._orphan(tmp_path, digest, age_s=0.0, content=payload)
+        fresh_cache = ResultCache(disk_dir=tmp_path)
+        assert fresh_cache.get(digest) is None
+        assert digest not in fresh_cache
+
+    def test_sweep_counts_into_telemetry_when_bound(self, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        self._orphan(tmp_path, "a" * 64, age_s=0.0)
+        cache = ResultCache(disk_dir=tmp_path)
+        hub = Telemetry()
+        cache.bind_telemetry(hub)
+        cache.sweep_stale_tmp(max_age_s=0.0)
+        assert hub.summary().counter("cache.tmp_swept") == 1
+
+
+class TestMultiProcessContention:
+    def test_concurrent_writers_of_one_digest(self, tmp_path):
+        """Many processes storing the same digest into one shared disk dir:
+        the entry must load cleanly afterwards and no temp files remain."""
+        import multiprocessing
+        import pickle
+
+        seed_cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=seed_cache)
+        digest, result = record.digest, record.result
+
+        def hammer():
+            cache = ResultCache(disk_dir=tmp_path)
+            for _ in range(10):
+                cache.put(digest, result)
+
+        ctx = multiprocessing.get_context("fork")
+        workers = [ctx.Process(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(60)
+            assert worker.exitcode == 0
+        assert list(tmp_path.glob("*.tmp")) == []
+        reloaded = ResultCache(disk_dir=tmp_path).get(digest)
+        assert reloaded is not None
+        assert pickle.dumps(reloaded) == pickle.dumps(result)
+
+    def test_crashed_writer_among_live_ones(self, tmp_path):
+        """A writer killed between its temp write and the rename leaves an
+        orphan that a later cache construction sweeps."""
+        import os
+        import time
+
+        cache = ResultCache(disk_dir=tmp_path)
+        record = run_spec(short_spec(), cache=cache)
+        # Fake the crash artifact: a temp file from a dead pid, old enough
+        # to be past any in-flight writer's grace window.
+        orphan = tmp_path / f"{record.digest}.pkl.40001.cafef00d.tmp"
+        orphan.write_bytes(b"\x80\x05partial")
+        stamp = time.time() - 7200.0
+        os.utime(orphan, (stamp, stamp))
+
+        survivor = ResultCache(disk_dir=tmp_path)
+        assert not orphan.exists()
+        assert survivor.stats.stale_tmp == 1
+        assert survivor.get(record.digest) is not None  # real entry intact

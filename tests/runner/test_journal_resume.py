@@ -1,0 +1,134 @@
+"""Journal resume with an interleaved completion history.
+
+The fleet resume path replays exactly this situation: a died sweep leaves
+some specs journaled-complete, some journaled-*failed*, and some never
+started, interleaved in submission order.  On ``resume=True`` only the
+journaled-complete digests may be trusted to the cache; failed and
+never-started specs must re-execute — whatever order they arrived in.
+"""
+
+import pytest
+
+from repro.runner import ResultCache, RunJournal, RunSpec, RunStatus, run_many
+from repro.workloads.scenarios import ScenarioConfig
+
+from .chaos import chaos_spec
+
+pytestmark = pytest.mark.usefixtures("chaos_workload")
+
+SHORT = ScenarioConfig(horizon=900_000)
+
+
+def flaky_once(tmp_path, marker):
+    """A spec that fails its first attempt ever, then succeeds forever."""
+    return chaos_spec(
+        "flaky",
+        marker=marker,
+        fail_times=1,
+        counter_path=str(tmp_path / f"counter-{marker}"),
+    )
+
+
+class TestInterleavedResume:
+    def test_complete_failed_and_never_started_interleaved(self, tmp_path):
+        ok_a = chaos_spec("ok", marker=1)
+        ok_b = chaos_spec("ok", marker=2)
+        fail_then_ok = flaky_once(tmp_path, marker=3)
+        never_started = chaos_spec("ok", marker=4)
+
+        # First invocation: two completions and one failure land in the
+        # journal; `never_started` is not submitted at all (the sweep
+        # "died" before reaching it).
+        cache = ResultCache(disk_dir=tmp_path)
+        journal = RunJournal.at(tmp_path)
+        records = run_many(
+            [ok_a, fail_then_ok, ok_b],
+            cache=cache,
+            checkpoint=journal,
+            on_error="keep_going",
+        )
+        assert [r.status for r in records] == [
+            RunStatus.OK,
+            RunStatus.FAILED,
+            RunStatus.OK,
+        ]
+        assert ok_a.digest() in journal and ok_b.digest() in journal
+        assert fail_then_ok.digest() not in journal  # failed ≠ completed
+
+        # Resume with the full interleaved list, completions mixed between
+        # the failed and the never-started spec.
+        cache2 = ResultCache(disk_dir=tmp_path)
+        journal2 = RunJournal.at(tmp_path)
+        resumed = run_many(
+            [ok_a, fail_then_ok, never_started, ok_b],
+            cache=cache2,
+            checkpoint=journal2,
+            resume=True,
+        )
+        # Journaled completions come from the cache; the journaled-failed
+        # spec re-executes (succeeding this time), as does never-started.
+        assert cache2.stats.hits == 2
+        assert cache2.stats.misses == 2
+        assert [r.status for r in resumed] == [RunStatus.OK] * 4
+        assert [r.cache_hit for r in resumed] == [True, False, False, True]
+        for spec in (ok_a, ok_b, fail_then_ok, never_started):
+            assert spec.digest() in journal2
+
+    def test_half_committed_completion_reexecutes(self, tmp_path):
+        """A result whose pickle landed but whose journal line never did
+        (death between the two writes) must not be trusted on resume."""
+        committed = chaos_spec("ok", marker=1)
+        half = chaos_spec("ok", marker=2)
+
+        cache = ResultCache(disk_dir=tmp_path)
+        journal = RunJournal.at(tmp_path)
+        run_many([committed], cache=cache, checkpoint=journal)
+        run_many([half], cache=cache)  # cache write, no journal line
+        assert half.digest() not in journal
+        assert (tmp_path / f"{half.digest()}.pkl").exists()
+
+        cache2 = ResultCache(disk_dir=tmp_path)
+        resumed = run_many(
+            [committed, half],
+            cache=cache2,
+            checkpoint=RunJournal.at(tmp_path),
+            resume=True,
+        )
+        assert cache2.stats.hits == 1  # only the journaled completion
+        assert cache2.stats.misses == 1  # the half-commit re-executed
+        assert [r.status for r in resumed] == [RunStatus.OK, RunStatus.OK]
+
+    def test_resume_after_resume_converges(self, tmp_path):
+        """Two successive resumes of a flaky history end with everything
+        journaled and zero re-execution on the third pass."""
+        specs = [
+            chaos_spec("ok", marker=1),
+            flaky_once(tmp_path, marker=2),
+            chaos_spec("ok", marker=3),
+        ]
+        cache = ResultCache(disk_dir=tmp_path)
+        run_many(
+            specs,
+            cache=cache,
+            checkpoint=RunJournal.at(tmp_path),
+            on_error="keep_going",
+        )
+
+        cache2 = ResultCache(disk_dir=tmp_path)
+        run_many(
+            specs,
+            cache=cache2,
+            checkpoint=RunJournal.at(tmp_path),
+            resume=True,
+        )
+        assert cache2.stats.misses == 1  # just the flaky spec
+
+        cache3 = ResultCache(disk_dir=tmp_path)
+        third = run_many(
+            specs,
+            cache=cache3,
+            checkpoint=RunJournal.at(tmp_path),
+            resume=True,
+        )
+        assert cache3.stats.misses == 0
+        assert all(record.cache_hit for record in third)

@@ -76,6 +76,41 @@ class TestSyntheticGeneration:
         with pytest.raises(ValueError):
             SyntheticConfig(beta=1.0)
 
+    def test_churn_zero_preserves_historic_stream(self):
+        """The default churn_fraction=0.0 must not consume any RNG draws:
+        seeds from before the knob existed keep their exact workloads."""
+        explicit = generate(SyntheticConfig(seed=7, churn_fraction=0.0))
+        implicit = generate(SyntheticConfig(seed=7))
+        for a, b in zip(explicit.registrations, implicit.registrations):
+            assert a.time == b.time == 0
+            assert a.alarm.nominal_time == b.alarm.nominal_time
+            assert a.alarm.repeat_interval == b.alarm.repeat_interval
+            assert a.alarm.task_duration == b.alarm.task_duration
+
+    def test_churn_registers_late_joiners(self):
+        config = SyntheticConfig(
+            app_count=60, seed=5, churn_fraction=0.5, horizon=3_600_000
+        )
+        workload = generate(config)
+        late = [r for r in workload.registrations if r.time > 0]
+        assert late, "churn_fraction=0.5 over 60 apps produced no joiners"
+        assert len(late) < len(workload.registrations)
+        for registration in late:
+            assert registration.time < config.horizon // 2
+
+    def test_churn_nominal_after_registration(self):
+        config = SyntheticConfig(app_count=40, seed=6, churn_fraction=1.0)
+        for registration in generate(config).registrations:
+            assert registration.alarm.nominal_time >= (
+                registration.time + registration.alarm.repeat_interval
+            )
+
+    def test_churn_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(churn_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(churn_fraction=-0.1)
+
     def test_runs_under_all_policies(self):
         from repro.analysis.experiments import run_workload
         from repro.core.native import NativePolicy
