@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench paper validate examples serve-smoke chaos-smoke fleet-smoke clean
+.PHONY: install test bench paper validate examples serve-smoke chaos-smoke fleet-smoke collector-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,10 @@ chaos-smoke:
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py --log fleet-smoke.log \
 		--journal-dir fleet-smoke-journals
+
+collector-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/collector_smoke.py \
+		--log collector-smoke.log --stream-dir collector-smoke-stream
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,32 +1,108 @@
-"""Engine micro-benchmark: full-run simulation throughput.
+"""Engine throughput bench: dispatch events/sec with an enforced floor.
 
-Times one complete 3-hour run (build + simulate + account) expressed as a
-:class:`~repro.runner.spec.RunSpec` — the unit of work every experiment and
-sweep is built from.  This is the number to watch when optimizing the
-engine, and ``test_bench_cached_rerun`` is the same spec served from the
-content-addressed cache — the harness's fast path.
+Builds the heavy workload once per attempt and drives the engine two
+ways — the batch :meth:`~repro.simulator.engine.Simulator.run` loop and
+the decomposed ``start()``/``step()``/``finish()`` stepping driver the
+service daemon uses — and writes ``BENCH_engine_throughput.json`` at the
+repo root.  CI runs ``test_engine_events_per_second_floor`` and fails
+the build when either driver drops below :data:`FLOOR_EVENTS_PER_S`,
+the guard that instrumentation hooks (telemetry, the decision audit)
+stay zero-cost on the uninstrumented hot path.
+
+The floor is deliberately conservative: a quiet workstation clears
+~9000 dispatch events/s, so even a busy two-core CI runner keeps an
+order-of-magnitude margin.
 """
 
-from repro.runner import ResultCache, RunSpec, execute_spec, run_spec
+import json
+import time
+from pathlib import Path
+
+from repro.runner.registry import DEFAULT_REGISTRY
+from repro.simulator.engine import Simulator, SimulatorConfig
+
+REPORT_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_engine_throughput.json"
+)
+
+#: CI-enforced minimum engine throughput, dispatch events per second.
+FLOOR_EVENTS_PER_S = 1_000.0
+
+WORKLOAD = "heavy"
+POLICY = "simty"
 
 
-def test_bench_full_heavy_run(benchmark):
-    spec = RunSpec(workload="heavy", policy="simty")
-    result = benchmark(execute_spec, spec)
-    assert result.trace.delivery_count() > 500
+def _build() -> Simulator:
+    workload = DEFAULT_REGISTRY.build_workload(WORKLOAD, None)
+    policy = DEFAULT_REGISTRY.create_policy(POLICY)
+    simulator = Simulator(
+        policy, config=SimulatorConfig(horizon=workload.horizon)
+    )
+    workload.apply(simulator)
+    return simulator
 
 
-def test_bench_full_light_native_run(benchmark):
-    spec = RunSpec(workload="light", policy="native")
-    result = benchmark(execute_spec, spec)
-    assert result.trace.delivery_count() > 500
+def _drive_batch(simulator: Simulator) -> None:
+    simulator.run()
 
 
-def test_bench_cached_rerun(benchmark):
-    cache = ResultCache()
-    spec = RunSpec(workload="heavy", policy="simty")
-    run_spec(spec, cache=cache)  # warm
+def _drive_stepping(simulator: Simulator) -> None:
+    simulator.start()
+    while simulator.step() is not None:
+        pass
+    simulator.finish()
 
-    record = benchmark(run_spec, spec, cache=cache)
-    assert record.cache_hit
-    assert record.result.trace.delivery_count() > 500
+
+def _measure(driver) -> dict:
+    best = None
+    for _ in range(2):  # best-of-2: absorb one unlucky scheduler stall
+        simulator = _build()
+        started = time.perf_counter()
+        driver(simulator)
+        wall = time.perf_counter() - started
+        events = simulator._events
+        deliveries = simulator.trace.delivery_count()
+        assert events > 500
+        assert deliveries > 500
+        rate = events / wall
+        if best is None or rate > best["events_per_s"]:
+            best = {
+                "events": events,
+                "deliveries": deliveries,
+                "wall_s": round(wall, 4),
+                "events_per_s": round(rate, 1),
+            }
+    return best
+
+
+def test_engine_events_per_second_floor(emit):
+    batch = _measure(_drive_batch)
+    stepping = _measure(_drive_stepping)
+
+    # The two drivers execute the same schedule: same dispatch-event and
+    # delivery counts, or one of them is skipping (or inventing) work.
+    assert batch["events"] == stepping["events"]
+    assert batch["deliveries"] == stepping["deliveries"]
+
+    payload = {
+        "unit": "dispatch events per second, best of 2 full heavy runs",
+        "workload": WORKLOAD,
+        "policy": POLICY,
+        "floor_events_per_s": FLOOR_EVENTS_PER_S,
+        "batch": batch,
+        "stepping": stepping,
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        f"engine throughput: batch {batch['events_per_s']:.0f} ev/s, "
+        f"stepping {stepping['events_per_s']:.0f} ev/s "
+        f"({batch['events']} events, {batch['deliveries']} deliveries, "
+        f"floor {FLOOR_EVENTS_PER_S:.0f}/s)"
+    )
+    for name, result in (("batch", batch), ("stepping", stepping)):
+        assert result["events_per_s"] >= FLOOR_EVENTS_PER_S, (
+            f"{name} driver throughput {result['events_per_s']:.1f} "
+            f"events/s fell below the enforced floor of "
+            f"{FLOOR_EVENTS_PER_S}; see BENCH_engine_throughput.json"
+        )

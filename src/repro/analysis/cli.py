@@ -360,6 +360,21 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--stream",
+        metavar="DIR",
+        default=None,
+        help=(
+            "spool live telemetry deltas into DIR for `simty top --stream DIR`"
+        ),
+    )
+    serve.add_argument(
+        "--stream-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="minimum wall seconds between streamed deltas (default 0.5)",
+    )
+    serve.add_argument(
         "--chaos",
         metavar="SPEC",
         default=None,
@@ -369,6 +384,96 @@ def _build_parser() -> argparse.ArgumentParser:
             "(journal + clock faults apply in-process; run a chaos proxy "
             "for transport faults — see docs/robustness.md)"
         ),
+    )
+
+    top = sub.add_parser(
+        "top",
+        help=(
+            "live terminal view over a telemetry stream spool: tail the "
+            "deltas that `simty fleet --stream` / `simty serve --stream` "
+            "emit and render a rolling fleet-wide summary"
+        ),
+    )
+    top.add_argument(
+        "--stream",
+        metavar="DIR",
+        required=True,
+        help="spool directory the producers stream into",
+    )
+    top.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default 1)",
+    )
+    top.add_argument(
+        "--stale-after",
+        type=_positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="mark a source stale after this many silent seconds (default 5)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after N frames (default: run until every source is final)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "reconstruct why alarms woke (or didn't wake) the device: re-run "
+            "one workload with the decision audit armed and print each "
+            "alignment decision's Table-1 selection path"
+        ),
+    )
+    _add_workload_arg(explain)
+    _add_backend_arg(explain)
+    explain.add_argument(
+        "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
+    )
+    explain.add_argument("--beta", type=float, default=None)
+    explain.add_argument(
+        "--alarm",
+        type=_nonnegative_int,
+        default=None,
+        metavar="ID",
+        help="focus on one alarm: its sampled decisions and its deliveries",
+    )
+    explain.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="audit sampling probability in [0,1] (default 1: every decision)",
+    )
+    explain.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=65_536,
+        metavar="N",
+        help="decision ring size; older decisions are evicted (default 65536)",
+    )
+    explain.add_argument(
+        "--limit",
+        type=_nonnegative_int,
+        default=20,
+        metavar="N",
+        help="rows in the most-deferred decision table (0 = all; default 20)",
+    )
+    explain.add_argument(
+        "--decisions-out",
+        metavar="PATH",
+        default=None,
+        help="also write every sampled decision as JSON lines",
     )
 
     fleet = sub.add_parser(
@@ -463,6 +568,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.95,
         metavar="FRACTION",
         help="completed-device fraction below which percentiles are withheld",
+    )
+    fleet.add_argument(
+        "--stream",
+        metavar="DIR",
+        default=None,
+        help=(
+            "spool live per-shard telemetry deltas into DIR; watch them with "
+            "`simty top --stream DIR` while the fleet runs"
+        ),
+    )
+    fleet.add_argument(
+        "--stream-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="minimum wall seconds between streamed deltas (default 0.5)",
+    )
+    fleet.add_argument(
+        "--metrics-port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve a Prometheus view of the merged live telemetry at "
+            "http://127.0.0.1:PORT/metrics (requires --stream; 0 = ephemeral)"
+        ),
     )
     _add_telemetry_args(fleet)
 
@@ -902,7 +1033,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         checkpoint_every_ms=args.checkpoint_every,
         max_inflight=args.max_inflight,
         slow_request_ms=slow_ms,
+        stream_dir=args.stream,
+        stream_interval_s=args.stream_interval,
     )
+    if args.stream is not None:
+        print(
+            f"streaming telemetry deltas to {args.stream} "
+            f"(watch with `simty top --stream {args.stream}`)",
+            file=sys.stderr,
+        )
 
     telemetry = Telemetry()
     journal_factory = None
@@ -1021,6 +1160,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
     if args.resume and args.fleet_dir is None:
         print("--resume requires --fleet-dir (journals live there)", file=sys.stderr)
         return 2
+    if args.metrics_port is not None and args.stream is None:
+        print("--metrics-port requires --stream (it serves the live view)",
+              file=sys.stderr)
+        return 2
     population = make_population(
         args.devices, archetypes=args.archetypes, seed=args.seed
     )
@@ -1033,15 +1176,39 @@ def _command_fleet(args: argparse.Namespace) -> int:
         memory_watermark=args.memory_watermark,
         coverage_threshold=args.coverage_threshold,
         quarantine_dir=args.quarantine_dir,
+        stream_dir=args.stream,
+        stream_interval_s=args.stream_interval,
     )
     hub = _telemetry_hub(args)
-    report = run_fleet(
-        population,
-        config,
-        fleet_dir=args.fleet_dir,
-        resume=args.resume,
-        telemetry=hub,
-    )
+    endpoint = None
+    if args.metrics_port is not None:
+        from ..obs.stream import Collector, MetricsEndpoint
+
+        collector = Collector(spool_dir=args.stream)
+
+        def _render_metrics() -> str:
+            collector.scan()
+            return prometheus_text(collector.rolling())
+
+        endpoint = MetricsEndpoint(_render_metrics, port=args.metrics_port)
+        print(f"metrics at {endpoint.url}", file=sys.stderr)
+    if args.stream is not None:
+        print(
+            f"streaming shard telemetry to {args.stream} "
+            f"(watch with `simty top --stream {args.stream}`)",
+            file=sys.stderr,
+        )
+    try:
+        report = run_fleet(
+            population,
+            config,
+            fleet_dir=args.fleet_dir,
+            resume=args.resume,
+            telemetry=hub,
+        )
+    finally:
+        if endpoint is not None:
+            endpoint.close()
     print(report.render())
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -1052,6 +1219,131 @@ def _command_fleet(args: argparse.Namespace) -> int:
     # A fleet with FAILED shards delivered a partial result; say so in the
     # exit code too, so CI and scripts cannot mistake it for a clean run.
     return 1 if report.shard_stats.get("failed") else 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from ..obs.stream import Collector
+
+    collector = Collector(spool_dir=args.stream, stale_after_s=args.stale_after)
+    limit = 1 if args.once else args.iterations
+    frames = 0
+    while True:
+        collector.scan()
+        if limit is None and sys.stdout.isatty():
+            # Live mode on a terminal: repaint in place like top(1).
+            print("\x1b[2J\x1b[H", end="")
+        print(collector.render())
+        frames += 1
+        if collector.all_final():
+            print("\nall sources final.")
+            return 0
+        if limit is not None and frames >= limit:
+            return 0
+        sys.stdout.flush()
+        time_module.sleep(args.interval)
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from ..obs.audit import DecisionAudit
+    from ..obs.render import render_decisions, render_wake_table
+    from ..runner.executor import execute_spec
+
+    if not 0.0 <= args.sample_rate <= 1.0:
+        raise SystemExit("--sample-rate must be in [0, 1]")
+    spec = RunSpec(
+        workload=args.workload,
+        policy=args.policy,
+        scenario=_scenario_config(args.beta),
+        simulator=_simulator_config(args),
+    )
+    # Seeding the sampler from the run digest keeps the sampled decision
+    # set reproducible: the same spec always explains the same decisions.
+    audit = DecisionAudit.for_digest(
+        spec.digest(), sample_rate=args.sample_rate, capacity=args.capacity
+    )
+    result = execute_spec(spec, audit=audit)
+    trace = result.trace
+    decisions = list(trace.decisions)
+    print(
+        f"{trace.policy_name} on {args.workload}: "
+        f"{audit.decisions_seen} alignment decisions, "
+        f"{audit.decisions_sampled} sampled, ring holds {len(decisions)}"
+    )
+    if args.decisions_out:
+        with open(args.decisions_out, "w", encoding="utf-8") as handle:
+            for record in decisions:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+        print(f"decision log written to {args.decisions_out}")
+    if args.alarm is None:
+        print()
+        print(render_wake_table(trace))
+        deferred = sorted(
+            (d for d in decisions if d.deferral_ms > 0),
+            key=lambda d: d.deferral_ms,
+            reverse=True,
+        )
+        if deferred:
+            print()
+            print("most-deferred decisions (largest first):")
+            print(render_decisions(deferred, limit=args.limit))
+        else:
+            print()
+            print("no sampled decision deferred an alarm.")
+        return 0
+    mine = [d for d in decisions if d.alarm_id == args.alarm]
+    deliveries = [
+        record
+        for record in trace.deliveries()
+        if record.alarm_id == args.alarm
+    ]
+    if not mine and not deliveries:
+        print(f"\nno sampled decision or delivery mentions alarm {args.alarm}")
+        return 1
+    for record in mine:
+        print()
+        print(
+            f"decision seq {record.seq} at t={record.time} ms "
+            f"({record.policy} {record.kind}):"
+        )
+        print(
+            f"  alarm {record.alarm_id} {record.label!r} app={record.app} "
+            f"wakeup={record.wakeup} perceptible={record.perceptible} "
+            f"nominal t={record.nominal_time} ms"
+        )
+        print(
+            f"  scanned {record.scanned} candidate entr"
+            f"{'y' if record.scanned == 1 else 'ies'}, "
+            f"{record.applicable} applicable"
+        )
+        for reason, count in record.rejections:
+            print(f"    rejected {count} ({reason})")
+        if record.new_entry:
+            print("  -> no applicable entry won; a new entry was created")
+        else:
+            detail = ""
+            if record.hw is not None:
+                rank = (
+                    f", Table-1 rank {record.table1_rank}"
+                    if record.table1_rank is not None
+                    else ""
+                )
+                detail = f" (hw={record.hw}, time={record.time_sim}{rank})"
+            print(
+                f"  -> joined entry #{record.chosen_entry}{detail}; "
+                f"deferral {record.deferral_ms:+d} ms"
+            )
+    for record in deliveries:
+        print()
+        print(
+            f"delivery: nominal t={record.nominal_time} ms -> delivered "
+            f"t={record.delivered_at} ms "
+            f"({record.delivered_at - record.nominal_time:+d} ms, "
+            f"batch #{record.batch_index})"
+        )
+    return 0
 
 
 def _command_requests(args: argparse.Namespace) -> int:
@@ -1088,6 +1380,8 @@ _COMMANDS = {
     "serve": _command_serve,
     "requests": _command_requests,
     "fleet": _command_fleet,
+    "top": _command_top,
+    "explain": _command_explain,
 }
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.audit import DecisionRecord
 from .alarm import Alarm
 from .entry import QueueEntry
 from .intervals import Interval
@@ -49,14 +50,53 @@ class FixedIntervalPolicy(AlignmentPolicy):
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
         queue.remove_alarm(alarm)
         boundary = self.bucket_time(alarm.nominal_time)
+        audit = self.audit
+        sampled = False
+        seq = 0
+        if audit.enabled:
+            seq = audit.next_seq()
+            sampled = audit.should_sample()
         # Bucket entries carry the zero-width window [boundary, boundary],
         # so the zero-width probe finds exactly the entries anchored at (or
         # spanning) the boundary; the start == boundary check then picks
         # this bucket's own entry.
         probe = Interval(boundary, boundary)
+        scanned = 0
+        chosen: Optional[QueueEntry] = None
         for entry in queue.window_candidates(probe):
+            scanned += 1
             if entry.window is not None and entry.window.start == boundary:
-                return self._place_in_bucket(queue, entry, alarm, boundary)
+                chosen = entry
+                break
+        if sampled:
+            audit.append(
+                DecisionRecord(
+                    seq=seq,
+                    policy=self.name,
+                    kind="insert",
+                    time=now,
+                    alarm_id=alarm.alarm_id,
+                    label=alarm.label,
+                    app=alarm.app,
+                    wakeup=alarm.wakeup,
+                    perceptible=alarm.is_perceptible(),
+                    nominal_time=alarm.nominal_time,
+                    scanned=scanned,
+                    applicable=1 if chosen is not None else 0,
+                    rejections=(
+                        (("bucket-mismatch", scanned - 1),)
+                        if chosen is not None and scanned > 1
+                        else (("bucket-mismatch", scanned),)
+                        if chosen is None and scanned
+                        else ()
+                    ),
+                    chosen_entry=chosen.entry_id if chosen is not None else None,
+                    new_entry=chosen is None,
+                    deferral_ms=boundary - alarm.nominal_time,
+                )
+            )
+        if chosen is not None:
+            return self._place_in_bucket(queue, chosen, alarm, boundary)
         entry = QueueEntry([alarm])
         entry.window = probe
         entry.grace = entry.window

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.audit import DecisionRecord
 from .alarm import Alarm
 from .entry import QueueEntry
 from .policy import AlignmentPolicy
@@ -34,19 +35,67 @@ class NativePolicy(AlignmentPolicy):
 
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
         queue.remove_alarm(alarm)
-        return self._basic_insert(queue, alarm)
+        return self._basic_insert(queue, alarm, now)
 
     def reinsert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
         stale = queue.remove_alarm(alarm)
         if stale is not None:
-            return self._rebatch_with(queue, alarm)
-        return self._basic_insert(queue, alarm)
+            return self._rebatch_with(queue, alarm, now)
+        return self._basic_insert(queue, alarm, now)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _basic_insert(self, queue: AlarmQueue, alarm: Alarm) -> QueueEntry:
+    def _basic_insert(
+        self, queue: AlarmQueue, alarm: Alarm, now: int
+    ) -> QueueEntry:
+        audit = self.audit
+        sampled = False
+        seq = 0
+        if audit.enabled:
+            seq = audit.next_seq()
+            sampled = audit.should_sample()
         entry = self._find_overlapping_entry(queue, alarm)
+        if sampled:
+            # Re-derive the scan the finder just did; only the sampled
+            # fraction of decisions pays this second pass.
+            window = alarm.window_interval()
+            candidates = queue.window_candidates(window)
+            overlapping = sum(
+                1
+                for cand in candidates
+                if cand.window is not None
+                and cand.window.overlaps(window)
+                and cand is not entry
+            ) + (1 if entry is not None else 0)
+            disjoint = len(candidates) - overlapping
+            audit.append(
+                DecisionRecord(
+                    seq=seq,
+                    policy=self.name,
+                    kind="insert",
+                    time=now,
+                    alarm_id=alarm.alarm_id,
+                    label=alarm.label,
+                    app=alarm.app,
+                    wakeup=alarm.wakeup,
+                    perceptible=alarm.is_perceptible(),
+                    nominal_time=alarm.nominal_time,
+                    scanned=len(candidates),
+                    applicable=overlapping,
+                    rejections=(
+                        (("window-disjoint", disjoint),) if disjoint else ()
+                    ),
+                    chosen_entry=entry.entry_id if entry is not None else None,
+                    new_entry=entry is None,
+                    deferral_ms=(
+                        entry.delivery_time(self.grace_mode)
+                        - alarm.nominal_time
+                        if entry is not None
+                        else 0
+                    ),
+                )
+            )
         if entry is not None:
             return self._place_in_entry(queue, entry, alarm)
         return self._place_in_new_entry(queue, alarm)
@@ -66,7 +115,9 @@ class NativePolicy(AlignmentPolicy):
                 return entry
         return None
 
-    def _rebatch_with(self, queue: AlarmQueue, alarm: Alarm) -> QueueEntry:
+    def _rebatch_with(
+        self, queue: AlarmQueue, alarm: Alarm, now: int
+    ) -> QueueEntry:
         """Rebuild the whole queue in nominal-time order, then place alarm.
 
         Entries are built against a plain accumulator and loaded into the
@@ -106,4 +157,30 @@ class NativePolicy(AlignmentPolicy):
             self.telemetry.count("native.rebatches")
             self.telemetry.observe("native.rebatch_alarms", len(alarms))
         assert target is not None
+        audit = self.audit
+        if audit.enabled:
+            seq = audit.next_seq()
+            if audit.should_sample():
+                audit.append(
+                    DecisionRecord(
+                        seq=seq,
+                        policy=self.name,
+                        kind="rebatch",
+                        time=now,
+                        alarm_id=alarm.alarm_id,
+                        label=alarm.label,
+                        app=alarm.app,
+                        wakeup=alarm.wakeup,
+                        perceptible=alarm.is_perceptible(),
+                        nominal_time=alarm.nominal_time,
+                        scanned=len(alarms),
+                        applicable=len(entries),
+                        chosen_entry=target.entry_id,
+                        new_entry=len(target) == 1,
+                        deferral_ms=(
+                            target.delivery_time(self.grace_mode)
+                            - alarm.nominal_time
+                        ),
+                    )
+                )
         return target

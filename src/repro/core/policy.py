@@ -21,6 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from ..obs.audit import NULL_AUDIT
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .alarm import Alarm
 from .backend import BACKEND_NAMES, DEFAULT_BACKEND
@@ -42,6 +43,11 @@ class AlignmentPolicy(ABC):
     #: policies constructed outside a Simulator stay zero-cost).
     telemetry: Telemetry = NULL_TELEMETRY
 
+    #: Decision-audit recorder (class-level null default, same zero-cost
+    #: contract as ``telemetry``).  When enabled, each insert/rebatch
+    #: decision draws exactly one sample from its digest-seeded LCG.
+    audit = NULL_AUDIT
+
     #: Queue-backend selection for queues this policy creates.  A class
     #: attribute so subclasses that define their own ``__init__`` without
     #: chaining to ``super()`` still get the paper-faithful default.
@@ -59,6 +65,10 @@ class AlignmentPolicy(ABC):
     def bind_telemetry(self, telemetry: Telemetry) -> None:
         """Attach the run's telemetry hub (the Simulator calls this)."""
         self.telemetry = telemetry
+
+    def bind_audit(self, audit) -> None:
+        """Attach the run's decision-audit recorder (Simulator calls this)."""
+        self.audit = audit
 
     def make_queue(self, backend: Optional[str] = None) -> AlarmQueue:
         """Create a queue configured for this policy's delivery-time rule.

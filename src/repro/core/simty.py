@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
+from ..obs.audit import DecisionRecord
 from .alarm import Alarm
 from .entry import QueueEntry
 from .policy import AlignmentPolicy
@@ -54,7 +55,7 @@ class SimtyPolicy(AlignmentPolicy):
     def insert(self, queue: AlarmQueue, alarm: Alarm, now: int) -> QueueEntry:
         # "we first remove the same alarm if it is still in the queue"
         queue.remove_alarm(alarm)
-        best = self._search_and_select(queue, alarm)
+        best = self._search_and_select(queue, alarm, now)
         if best is not None:
             return self._place_in_entry(queue, best, alarm)
         return self._place_in_new_entry(queue, alarm)
@@ -63,7 +64,7 @@ class SimtyPolicy(AlignmentPolicy):
     # Phases
     # ------------------------------------------------------------------
     def _search_and_select(
-        self, queue: AlarmQueue, alarm: Alarm
+        self, queue: AlarmQueue, alarm: Alarm, now: int
     ) -> Optional[QueueEntry]:
         """Run both phases and return the winning entry, if any.
 
@@ -71,14 +72,15 @@ class SimtyPolicy(AlignmentPolicy):
         entries are examined in queue order, ties resolve to the first-found
         entry as the paper specifies.
 
-        With telemetry enabled the two phases run separately (search
-        collects every applicable entry, selection then ranks them) so each
-        gets its own span; the fused single-pass below is the production
-        path.  Both orderings resolve ties to the first-found entry — the
-        ranking uses a strict ``<`` — so the chosen entry is identical.
+        With telemetry (or the decision audit) enabled the two phases run
+        separately (search collects every applicable entry, selection then
+        ranks them) so each gets its own span; the fused single-pass below
+        is the production path.  Both orderings resolve ties to the
+        first-found entry — the ranking uses a strict ``<`` — so the chosen
+        entry is identical.
         """
-        if self.telemetry.enabled:
-            return self._search_and_select_instrumented(queue, alarm)
+        if self.telemetry.enabled or self.audit.enabled:
+            return self._search_and_select_instrumented(queue, alarm, now)
         best_entry: Optional[QueueEntry] = None
         best_score = math.inf
         # Applicability needs at least MEDIUM time similarity, i.e. grace
@@ -98,17 +100,24 @@ class SimtyPolicy(AlignmentPolicy):
         return best_entry
 
     def _search_and_select_instrumented(
-        self, queue: AlarmQueue, alarm: Alarm
+        self, queue: AlarmQueue, alarm: Alarm, now: int
     ) -> Optional[QueueEntry]:
-        """Telemetry variant: explicit search then selection phases.
+        """Telemetry/audit variant: explicit search then selection phases.
 
         Records the Table 1 decision breakdown — per hardware×time
         similarity cell, how many candidates were applicable and which one
-        won — plus search/selection timing and scan-width histograms.
+        won — plus search/selection timing and scan-width histograms.  When
+        the decision audit sampled this insert, also captures the full
+        selection path (rejection reasons, winner's ranks, deferral) as a
+        :class:`~repro.obs.audit.DecisionRecord`.
         """
         tel = self.telemetry
+        audit = self.audit
+        seq = audit.next_seq()
+        sampled = audit.enabled and audit.should_sample()
         rank_names = self.hardware_classifier.rank_names
         tel.count("simty.searches")
+        rejections: dict = {}
         with tel.span("simty.search", alarm=alarm.label):
             scanned = 0
             applicable = []
@@ -117,6 +126,12 @@ class SimtyPolicy(AlignmentPolicy):
                 ok, time_sim = self._applicability(alarm, entry)
                 if ok:
                     applicable.append((entry, time_sim))
+                elif sampled:
+                    if alarm.is_perceptible() or entry.is_perceptible():
+                        reason = f"perceptible-time-{time_sim.name.lower()}"
+                    else:
+                        reason = "time-low"
+                    rejections[reason] = rejections.get(reason, 0) + 1
         tel.observe("simty.candidates_scanned", scanned)
         tel.observe("simty.candidates_pruned", len(queue) - scanned)
         with tel.span("simty.select", candidates=len(applicable)):
@@ -138,6 +153,36 @@ class SimtyPolicy(AlignmentPolicy):
             tel.count("simty.selected", hw=best_labels[0], time=best_labels[1])
         else:
             tel.count("simty.new_entry")
+        if sampled:
+            won = best_entry is not None
+            audit.append(
+                DecisionRecord(
+                    seq=seq,
+                    policy=self.name,
+                    kind="insert",
+                    time=now,
+                    alarm_id=alarm.alarm_id,
+                    label=alarm.label,
+                    app=alarm.app,
+                    wakeup=alarm.wakeup,
+                    perceptible=alarm.is_perceptible(),
+                    nominal_time=alarm.nominal_time,
+                    scanned=scanned,
+                    applicable=len(applicable),
+                    rejections=tuple(sorted(rejections.items())),
+                    chosen_entry=best_entry.entry_id if won else None,
+                    new_entry=not won,
+                    hw=best_labels[0] if won else None,
+                    time_sim=best_labels[1] if won else None,
+                    table1_rank=int(best_score) if won else None,
+                    deferral_ms=(
+                        best_entry.delivery_time(self.grace_mode)
+                        - alarm.nominal_time
+                        if won
+                        else 0
+                    ),
+                )
+            )
         return best_entry
 
     def _applicability(

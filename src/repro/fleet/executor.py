@@ -48,6 +48,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.report import format_table
+from ..obs.stream import SpoolSink, TelemetryStream
+from ..obs.summary import TelemetrySummary
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..runner.record import RunRecord
 from ..runner.supervision import run_supervised_serial
@@ -102,10 +104,20 @@ class FleetConfig:
     poll_interval_s: float = 0.01
     quarantine_dir: Optional[str] = None
     chaos: Optional[FleetChaos] = None
+    #: Per-shard telemetry hub (progress/outcome counters, device wall-time
+    #: histogram).  Merged across shards onto ``FleetReport.telemetry``;
+    #: rides in the seal, outside the deterministic payload.
+    shard_telemetry: bool = True
+    #: Spool directory for live shard telemetry streams (``--stream``);
+    #: None disables streaming.  Plain data, crosses the worker boundary.
+    stream_dir: Optional[str] = None
+    stream_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
+        if self.stream_interval_s <= 0:
+            raise ValueError("stream_interval_s must be positive")
         if self.workers < 0:
             raise ValueError("workers must be non-negative (0 = in-process)")
         if self.device_retries < 0 or self.shard_retries < 0:
@@ -315,6 +327,26 @@ def run_shard(
     if chaos is not None and chaos.should_hang(plan.shard, attempt):
         time.sleep(chaos.hang_s)
     started = time.perf_counter()
+    hub = Telemetry() if config.shard_telemetry else NULL_TELEMETRY
+    stream = None
+    if config.stream_dir is not None and config.shard_telemetry:
+        stream = TelemetryStream(
+            hub,
+            source=f"shard-{plan.shard:04d}",
+            sink=SpoolSink(config.stream_dir),
+            interval_s=config.stream_interval_s,
+        )
+        # The begin marker resets this source at any collector, so a
+        # retried attempt never double-counts a dead attempt's deltas.
+        stream.begin(
+            meta={
+                "population": digest,
+                "shard": plan.shard,
+                "attempt": attempt,
+                "lo": plan.lo,
+                "hi": plan.hi,
+            }
+        )
     journal = ShardJournal(
         shard_journal_path(fleet_dir, plan.shard), config.fsync_every
     )
@@ -378,6 +410,18 @@ def run_shard(
                 buffer.append((device, record))
                 peak = max(peak, len(buffer))
                 journal.device(device.index, outcome.status.value)
+                if hub.enabled:
+                    hub.count("shard.devices", status=outcome.status.value)
+                    trace = outcome.result.trace
+                    hub.count("engine.deliveries", trace.delivery_count())
+                    hub.count("engine.wakeups", trace.wake_count())
+                    hub.count("engine.batches", trace.batch_count())
+                    if trace.violations:
+                        hub.count("monitor.violations", len(trace.violations))
+                    hub.observe(
+                        "shard.device_wall_ms",
+                        int(outcome.wall_time_s * 1000),
+                    )
                 if len(buffer) >= config.memory_watermark:
                     # The hard memory watermark: reduce early instead of
                     # letting records pile toward an OOM kill.
@@ -396,6 +440,12 @@ def run_shard(
                 )
                 summary.observe_quarantine(record)
                 journal.quarantine(record)
+                if hub.enabled:
+                    hub.count("shard.devices", status="quarantined")
+            if hub.enabled:
+                hub.gauge("shard.progress", processed / max(1, plan.size))
+            if stream is not None:
+                stream.poll()
         flush()
         summary.peak_live_records = peak
         summary.timing = {
@@ -403,9 +453,18 @@ def run_shard(
             "reduce_ms": reduce_ms,
             "reductions": float(reductions),
         }
+        if hub.enabled:
+            summary.telemetry = hub.summary()
         journal.seal(summary.to_dict())
+        if stream is not None:
+            # Flush the tail delta and mark the source complete *after*
+            # the seal: a collector that has seen every final marker knows
+            # the sealed report exists and its view has converged.
+            stream.flush(final=True, meta={"sealed": True})
     finally:
         journal.close()
+        if stream is not None:
+            stream.close()
     return summary
 
 
@@ -487,6 +546,16 @@ class FleetReport:
     @property
     def completed(self) -> int:
         return self.summary.completed
+
+    @property
+    def telemetry(self) -> Optional[TelemetrySummary]:
+        """Merged per-shard telemetry (None when shards ran uninstrumented).
+
+        Counters and span totals are deterministic in the population; the
+        wall-clock histograms are not — which is why this rides outside
+        :meth:`deterministic_payload`.
+        """
+        return self.summary.telemetry
 
     @property
     def quarantined(self) -> int:
@@ -774,7 +843,7 @@ def run_fleet(
         tel.gauge("fleet.live_records", merged.peak_live_records)
         tel.gauge("fleet.coverage", merged.completed / max(1, population.size))
 
-    return FleetReport(
+    report = FleetReport(
         population_digest=digest,
         population_name=population.name,
         size=population.size,
@@ -786,6 +855,35 @@ def run_fleet(
         workers=config.workers,
         wall_s=wall,
     )
+    if config.stream_dir is not None:
+        _write_stream_final(Path(config.stream_dir), report)
+    return report
+
+
+def _write_stream_final(stream_dir: Path, report: FleetReport) -> None:
+    """Seal the stream directory with the merged report (never raises).
+
+    ``final.json`` is what a live viewer checks its converged rolling
+    view against: the deterministic payload plus the merged telemetry.
+    """
+    try:
+        stream_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "population": report.population_digest,
+            "completed": report.completed,
+            "quarantined": report.quarantined,
+            "report": report.to_json(),
+            "telemetry": (
+                report.telemetry.to_dict()
+                if report.telemetry is not None
+                else None
+            ),
+        }
+        tmp = stream_dir / f"final.json.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(stream_dir / "final.json")
+    except OSError:  # pragma: no cover - stream IO must not kill the fleet
+        pass
 
 
 def _run_serial(

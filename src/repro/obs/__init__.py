@@ -19,6 +19,12 @@ Disabled instrumentation uses :data:`NULL_TELEMETRY` — a shared no-op hub
 — so hot paths pay nothing when observability is off.
 """
 
+from .audit import (
+    NULL_AUDIT,
+    DecisionAudit,
+    DecisionRecord,
+    NullDecisionAudit,
+)
 from .exporters import (
     chrome_trace_payload,
     jsonl_lines,
@@ -28,9 +34,22 @@ from .exporters import (
 )
 from .render import (
     render_counters,
+    render_decisions,
     render_phase_table,
     render_similarity_breakdown,
     render_telemetry,
+    render_wake_table,
+)
+from .stream import (
+    STREAM_SCHEMA,
+    Collector,
+    CollectorListener,
+    MetricsEndpoint,
+    SocketSink,
+    SourceState,
+    SpoolSink,
+    TelemetryStream,
+    open_sink,
 )
 from .summary import (
     EMPTY_SUMMARY,
@@ -38,6 +57,7 @@ from .summary import (
     HistogramSummary,
     SpanSummary,
     TelemetrySummary,
+    diff_summaries,
     merge_summaries,
     summarize,
 )
@@ -55,26 +75,42 @@ from .telemetry import (
 
 __all__ = [
     "COUNTER_MAX",
+    "Collector",
+    "CollectorListener",
+    "DecisionAudit",
+    "DecisionRecord",
     "EMPTY_SUMMARY",
     "FakeClock",
     "GaugeSummary",
     "HistogramSummary",
+    "MetricsEndpoint",
+    "NULL_AUDIT",
     "NULL_TELEMETRY",
+    "NullDecisionAudit",
     "NullTelemetry",
+    "STREAM_SCHEMA",
+    "SocketSink",
+    "SourceState",
     "SpanEvent",
     "SpanMismatchError",
     "SpanSummary",
+    "SpoolSink",
     "Telemetry",
+    "TelemetryStream",
     "TelemetrySummary",
     "chrome_trace_payload",
+    "diff_summaries",
     "jsonl_lines",
     "merge_summaries",
     "metric_key",
+    "open_sink",
     "prometheus_text",
     "render_counters",
+    "render_decisions",
     "render_phase_table",
     "render_similarity_breakdown",
     "render_telemetry",
+    "render_wake_table",
     "split_metric",
     "summarize",
     "write_chrome_trace",

@@ -156,11 +156,23 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format: backslash,
+    double quote and newline are the only escapes."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{_prom_name(key)}="{value}"' for key, value in sorted(labels.items())
+        f'{_prom_name(key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -182,26 +194,37 @@ def prometheus_text(
     lines: List[str] = []
     typed = set()
 
-    def declare(metric: str, kind: str) -> None:
+    _KIND_HELP = {
+        "counter": "Cumulative count of {source} events.",
+        "gauge": "Last observed value of {source}.",
+        "histogram": "Distribution of {source} observations.",
+    }
+
+    def declare(metric: str, kind: str, source: str) -> None:
+        # One HELP + TYPE pair per metric family, emitted before its
+        # first sample — the exposition-format contract scrapers expect.
         if metric not in typed:
             typed.add(metric)
+            lines.append(
+                f"# HELP {metric} " + _KIND_HELP[kind].format(source=source)
+            )
             lines.append(f"# TYPE {metric} {kind}")
 
     for key in sorted(summary.counters):
         name, labels = split_metric(key)
         metric = _prom_name(name) + "_total"
-        declare(metric, "counter")
+        declare(metric, "counter", name)
         lines.append(f"{metric}{_prom_labels(labels)} {summary.counters[key]}")
     for key in sorted(summary.gauges):
         name, labels = split_metric(key)
         metric = _prom_name(name)
-        declare(metric, "gauge")
+        declare(metric, "gauge", name)
         lines.append(f"{metric}{_prom_labels(labels)} {summary.gauges[key].last}")
     for key in sorted(summary.histograms):
         name, labels = split_metric(key)
         cell = summary.histograms[key]
         metric = _prom_name(name)
-        declare(metric, "histogram")
+        declare(metric, "histogram", name)
         cumulative = 0
         for bound, count in cell.buckets:
             cumulative += count
@@ -215,10 +238,14 @@ def prometheus_text(
         lines.append(f"{metric}_bucket{_prom_labels(inf_labels)} {cell.count}")
         lines.append(f"{metric}_sum{_prom_labels(labels)} {cell.total}")
         lines.append(f"{metric}_count{_prom_labels(labels)} {cell.count}")
-    for metric, value in (
-        ("telemetry_span_events", summary.span_events),
-        ("telemetry_dropped_events", summary.dropped_events),
+    for metric, value, source in (
+        ("telemetry_span_events", summary.span_events, "telemetry.span_events"),
+        (
+            "telemetry_dropped_events",
+            summary.dropped_events,
+            "telemetry.dropped_events",
+        ),
     ):
-        declare(metric, "gauge")
+        declare(metric, "gauge", source)
         lines.append(f"{metric} {value}")
     return "\n".join(lines) + "\n"

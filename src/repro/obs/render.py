@@ -21,9 +21,11 @@ from .summary import TelemetrySummary
 
 __all__ = [
     "render_counters",
+    "render_decisions",
     "render_phase_table",
     "render_similarity_breakdown",
     "render_telemetry",
+    "render_wake_table",
 ]
 
 
@@ -145,6 +147,129 @@ def render_counters(summary: TelemetrySummary) -> str:
             f"min={cell.min:g} max={cell.max:g}"
         )
     return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_wake_table(trace) -> str:
+    """The per-run "why did we wake" table.
+
+    ``trace`` duck-types :class:`~repro.simulator.trace.SimulationTrace`
+    (this package imports nothing from the simulator): each batch that
+    woke the device becomes a row naming the wakeup alarms that caused
+    it, plus a per-app attribution footer.
+    """
+    wake_batches = [batch for batch in trace.batches if batch.woke_device]
+    if not wake_batches:
+        return "(no device wakes recorded)"
+    rows = []
+    app_wakes: Dict[str, int] = {}
+    for batch in wake_batches:
+        causes = [record for record in batch.alarms if record.wakeup]
+        labels = [
+            record.label
+            if record.label == record.app
+            or record.label.startswith(record.app + ":")
+            else f"{record.app}:{record.label}"
+            for record in causes
+        ]
+        shown = ", ".join(labels[:3]) + (
+            f" (+{len(labels) - 3})" if len(labels) > 3 else ""
+        )
+        max_defer = max(
+            (record.delivered_at - record.nominal_time for record in causes),
+            default=0,
+        )
+        for app in {record.app for record in causes}:
+            app_wakes[app] = app_wakes.get(app, 0) + 1
+        rows.append(
+            (
+                str(batch.delivered_at),
+                str(len(batch.alarms)),
+                str(len(causes)),
+                str(max_defer),
+                str(batch.busy_ms),
+                shown or "(non-wakeup batch woke device)",
+            )
+        )
+    table = _table(
+        ("t [ms]", "alarms", "wakeups", "max defer", "busy [ms]", "caused by"),
+        rows,
+    )
+    attribution = "  ".join(
+        f"{app}={count}"
+        for app, count in sorted(app_wakes.items(), key=lambda kv: -kv[1])
+    )
+    footer = (
+        f"wakes: {len(wake_batches)}/{trace.batch_count()} batches  "
+        f"deliveries: {trace.delivery_count()}"
+    )
+    if attribution:
+        footer += f"\nwakes by app: {attribution}"
+    return table + "\n" + footer
+
+
+def render_decisions(records, limit: int = 0) -> str:
+    """Sampled decision-audit records as a table (newest last).
+
+    ``records`` duck-types :class:`~repro.obs.audit.DecisionRecord`.
+    ``limit`` keeps only the last N rows (0 = all).
+    """
+    records = list(records)
+    if limit and len(records) > limit:
+        records = records[-limit:]
+    if not records:
+        return "(no decisions sampled)"
+    rows = []
+    for record in records:
+        if record.new_entry:
+            decision = "new entry"
+        elif record.chosen_entry is not None:
+            decision = f"join #{record.chosen_entry}"
+        else:
+            decision = "-"
+        if record.hw is not None:
+            rank = f"{record.hw}/{record.time_sim}"
+            if record.table1_rank is not None:
+                rank += f" (rank {record.table1_rank})"
+        else:
+            rank = "-"
+        rejections = " ".join(
+            f"{reason}x{count}" for reason, count in record.rejections
+        )
+        if record.label == record.app or record.label.startswith(
+            record.app + ":"
+        ):
+            alarm = record.label
+        else:
+            alarm = f"{record.app}:{record.label}"
+        rows.append(
+            (
+                str(record.seq),
+                str(record.time),
+                record.kind,
+                alarm,
+                str(record.scanned),
+                str(record.applicable),
+                decision,
+                rank,
+                str(record.deferral_ms),
+                rejections or "-",
+            )
+        )
+    return _table(
+        (
+            "seq",
+            "t [ms]",
+            "kind",
+            "alarm",
+            "scanned",
+            "applic",
+            "decision",
+            "hw/time",
+            "defer [ms]",
+            "rejected",
+        ),
+        rows,
+    )
 
 
 def render_telemetry(summary: TelemetrySummary) -> str:

@@ -23,6 +23,8 @@ __all__ = [
     "HistogramSummary",
     "SpanSummary",
     "TelemetrySummary",
+    "diff_summaries",
+    "merge_summaries",
     "summarize",
 ]
 
@@ -267,6 +269,82 @@ def merge_summaries(summaries: Iterable[TelemetrySummary]) -> TelemetrySummary:
         spans=spans,
         span_events=span_events,
         dropped_events=dropped,
+    )
+
+
+def diff_summaries(
+    current: TelemetrySummary, baseline: TelemetrySummary
+) -> TelemetrySummary:
+    """The delta that, merged onto ``baseline``, reproduces ``current``.
+
+    This is the inverse of :func:`merge_summaries` for everything that
+    merges by *addition*: counters, histogram counts/totals/buckets,
+    span counts/totals, span/dropped event tallies.  Envelope fields
+    (gauge min/max/last, histogram and span min/max) are *not*
+    invertible — the delta carries the current envelope, and because
+    merging widens envelopes monotonically, replaying deltas in order
+    still converges to the current envelope exactly.
+
+    Cells that did not change since the baseline are omitted, so a
+    quiet interval produces an (almost) empty delta.  Used by
+    :class:`~repro.obs.stream.TelemetryStream` to emit incremental
+    snapshots cheap enough to ship every few hundred milliseconds.
+    """
+    counters: Dict[str, int] = {}
+    for key, value in current.counters.items():
+        delta = value - baseline.counters.get(key, 0)
+        if delta:
+            counters[key] = delta
+    gauges: Dict[str, GaugeSummary] = {}
+    for key, cell in current.gauges.items():
+        seen = baseline.gauges.get(key)
+        if seen == cell:
+            continue
+        gauges[key] = GaugeSummary(
+            last=cell.last,
+            min=cell.min,
+            max=cell.max,
+            updates=cell.updates - (seen.updates if seen else 0),
+        )
+    histograms: Dict[str, HistogramSummary] = {}
+    for key, cell in current.histograms.items():
+        seen = baseline.histograms.get(key)
+        if seen is None:
+            histograms[key] = cell
+            continue
+        if seen == cell:
+            continue
+        base_buckets = dict(seen.buckets)
+        buckets = tuple(
+            (bound, count - base_buckets.get(bound, 0))
+            for bound, count in cell.buckets
+            if count - base_buckets.get(bound, 0)
+        )
+        histograms[key] = HistogramSummary(
+            count=cell.count - seen.count,
+            total=cell.total - seen.total,
+            min=cell.min,
+            max=cell.max,
+            buckets=buckets,
+        )
+    spans: Dict[str, SpanSummary] = {}
+    for key, cell in current.spans.items():
+        seen = baseline.spans.get(key)
+        if seen == cell:
+            continue
+        spans[key] = SpanSummary(
+            count=cell.count - (seen.count if seen else 0),
+            total_ns=cell.total_ns - (seen.total_ns if seen else 0),
+            min_ns=cell.min_ns,
+            max_ns=cell.max_ns,
+        )
+    return TelemetrySummary(
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        spans=spans,
+        span_events=current.span_events - baseline.span_events,
+        dropped_events=current.dropped_events - baseline.dropped_events,
     )
 
 

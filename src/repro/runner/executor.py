@@ -69,20 +69,27 @@ def run_built(
     policy_name: Optional[str] = None,
     external_events: tuple = (),
     telemetry: Optional[Telemetry] = None,
+    audit=None,
 ) -> ExperimentResult:
     """Run an already-built workload under a policy instance.
 
     ``external_events`` injects user/push wakes (see
     :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
     ``telemetry`` instruments the run; the hub's summary rides on
-    ``result.trace.telemetry``.
+    ``result.trace.telemetry``.  ``audit`` records sampled alignment
+    decisions onto ``result.trace.decisions`` (see
+    :class:`repro.obs.audit.DecisionAudit`).
     """
     config = simulator_config or SimulatorConfig(horizon=workload.horizon)
     if config.horizon != workload.horizon:
         config = dataclasses.replace(config, horizon=workload.horizon)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     simulator = Simulator(
-        policy, config=config, external_events=external_events, telemetry=telemetry
+        policy,
+        config=config,
+        external_events=external_events,
+        telemetry=telemetry,
+        audit=audit,
     )
     workload.apply(simulator)
     trace = simulator.run()
@@ -110,6 +117,7 @@ def execute_spec(
     spec: RunSpec,
     registry: Optional[Registry] = None,
     telemetry: Optional[Telemetry] = None,
+    audit=None,
 ) -> ExperimentResult:
     """Resolve and simulate ``spec`` unconditionally (no cache)."""
     registry = registry or DEFAULT_REGISTRY
@@ -129,6 +137,7 @@ def execute_spec(
         simulator_config=spec.simulator,
         policy_name=spec.display_name(),
         telemetry=telemetry,
+        audit=audit,
     )
 
 
@@ -137,6 +146,7 @@ def run_spec(
     cache: Optional[ResultCache] = None,
     registry: Optional[Registry] = None,
     telemetry: Optional[Telemetry] = None,
+    audit=None,
 ) -> RunRecord:
     """Run one spec through the cache, returning its :class:`RunRecord`."""
     digest = spec.digest()
@@ -154,7 +164,7 @@ def run_spec(
             cache.records.append(record)
             return record
     started = time.perf_counter()
-    result = execute_spec(spec, registry, telemetry=telemetry)
+    result = execute_spec(spec, registry, telemetry=telemetry, audit=audit)
     wall = time.perf_counter() - started
     if cache is not None:
         cache.note_miss()
@@ -220,6 +230,7 @@ def run_many(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    stream=None,
 ) -> List[RunRecord]:
     """Run a batch of specs, deduplicated, supervised, and (optionally)
     in parallel.
@@ -253,6 +264,13 @@ def run_many(
     own per-process hubs whose summaries ride back on the result traces,
     and the parent hub gets the harness view — worker count, utilization,
     per-spec wall-time histogram, retry/timeout/failure counters.
+
+    ``stream`` (a :class:`repro.obs.stream.TelemetryStream` over the same
+    hub) turns the batch into a live producer: the harness polls it after
+    every resolved spec on the serial path and after the execution pass on
+    the pool path, so a :class:`~repro.obs.stream.Collector` watches the
+    sweep progress instead of waiting for the final summary.  The caller
+    owns ``begin()``/``flush(final=True)``.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
@@ -347,6 +365,10 @@ def run_many(
             if not outcome.ok and on_error == "raise":
                 _raise_outcome(spec, digests[index], outcome, timeout_s)
             outcomes[index] = outcome
+            if tel.enabled:
+                tel.count("runner.specs_resolved")
+            if stream is not None:
+                stream.poll()
 
     for index, spec in pending:
         outcome = outcomes[index]
@@ -406,4 +428,6 @@ def run_many(
     resolved = [record for record in records if record is not None]
     if cache is not None:
         cache.records.extend(resolved)
+    if stream is not None:
+        stream.poll(force=True)
     return resolved

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.units import THREE_HOURS_MS
 from ..obs.exporters import prometheus_text
+from ..obs.stream import SpoolSink, TelemetryStream
 from ..obs.telemetry import Telemetry
 from ..runner.registry import DEFAULT_REGISTRY
 from ..simulator.clock import WALL_CLOCK_MODES, ManualWallClock, make_wall_clock
@@ -93,8 +94,15 @@ class ServiceConfig:
     #: dedupe (a retried mutation returns the original reply instead of
     #: being applied twice).
     dedupe_window: int = 1_024
+    #: Spool directory for the live telemetry stream (one ``service``
+    #: source a :class:`~repro.obs.stream.Collector` can tail alongside
+    #: fleet shards); ``None`` disables streaming.
+    stream_dir: Optional[str] = None
+    stream_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
+        if self.stream_interval_s <= 0:
+            raise ValueError("stream_interval_s must be positive")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
         if self.clock not in WALL_CLOCK_MODES:
@@ -194,6 +202,17 @@ class AlarmService:
         self.wall = make_wall_clock(
             self.config.clock, self.config.speed, start_ms=self._last_watermark
         )
+        self.stream: Optional[TelemetryStream] = None
+        if self.config.stream_dir is not None:
+            self.stream = TelemetryStream(
+                self.telemetry,
+                source="service",
+                sink=SpoolSink(self.config.stream_dir),
+                interval_s=self.config.stream_interval_s,
+            )
+            self.stream.begin(
+                meta={"policy": self.config.policy, "resumed": _resume}
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -358,6 +377,8 @@ class AlarmService:
             ):
                 self._watermark()
             self._observe_depth()
+            if self.stream is not None:
+                self.stream.poll()
             return processed
 
     def _watermark(self) -> float:
@@ -749,6 +770,9 @@ class AlarmService:
             self._watermark()
             self._closed = True
             self.telemetry.count("service.graceful_shutdowns")
+            if self.stream is not None:
+                self.stream.flush(final=True)
+                self.stream.close()
             return {
                 "sim_time_ms": self.simulator.now,
                 "watermark_ms": self._last_watermark,

@@ -19,6 +19,7 @@ from ..core.backend import BACKEND_NAMES
 from ..core.entry import QueueEntry
 from ..core.policy import AlignmentPolicy
 from ..core.units import THREE_HOURS_MS
+from ..obs.audit import NULL_AUDIT
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .alarm_manager import AlarmManager
 from .clock import VirtualClock
@@ -146,6 +147,7 @@ class Simulator:
         external_events: Iterable[ExternalWake] = (),
         monitor: Optional[InvariantMonitor] = None,
         telemetry: Optional[Telemetry] = None,
+        audit=None,
     ) -> None:
         self.config = config or SimulatorConfig()
         self.policy = policy
@@ -155,6 +157,10 @@ class Simulator:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel_enabled = self.telemetry.enabled
         policy.bind_telemetry(self.telemetry)
+        # The decision audit follows the same pattern: a null default, and
+        # sealed records land on the trace (outside the digested payload).
+        self.audit = audit if audit is not None else NULL_AUDIT
+        policy.bind_audit(self.audit)
         self.manager = AlarmManager(
             policy,
             telemetry=self.telemetry,
@@ -448,6 +454,8 @@ class Simulator:
             self.trace.violations = self.monitor.violations
         if self._tel_enabled:
             self.trace.telemetry = self.telemetry.summary()
+        if self.audit.enabled:
+            self.trace.decisions = self.audit.records()
         return self.trace
 
     def drain(self) -> SimulationTrace:
@@ -777,6 +785,7 @@ def simulate(
     config: Optional[SimulatorConfig] = None,
     external_events: Iterable[ExternalWake] = (),
     telemetry: Optional[Telemetry] = None,
+    audit=None,
 ) -> SimulationTrace:
     """Convenience one-shot runner: register ``alarms`` at t=0 and run."""
     simulator = Simulator(
@@ -784,6 +793,7 @@ def simulate(
         config=config,
         external_events=external_events,
         telemetry=telemetry,
+        audit=audit,
     )
     simulator.add_alarms(alarms)
     return simulator.run()

@@ -142,6 +142,11 @@ class SimulationTrace:
     #: instrumented).  Plain data, so it crosses process boundaries with
     #: pool workers and survives serialize round trips.
     telemetry: Optional[TelemetrySummary] = None
+    #: Sampled decision-audit records (empty when the audit was off).
+    #: Deliberately NOT serialized by ``trace_to_dict``: the fuzz and
+    #: backend-equivalence suites byte-compare serialized traces, and
+    #: audit data must ride outside the digested payload.
+    decisions: List = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Convenience accessors

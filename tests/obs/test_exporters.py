@@ -115,3 +115,41 @@ def test_empty_hub_exports_cleanly(tmp_path):
     assert [e["ph"] for e in payload["traceEvents"]] == ["M"]
     text = prometheus_text(tel)
     assert "telemetry_span_events 0" in text
+
+
+def test_prometheus_emits_help_lines_per_family():
+    tel = Telemetry(clock=FakeClock())
+    tel.count("engine.events", value=2, type="wakeup")
+    tel.count("engine.events", value=1, type="delivery")
+    tel.gauge("engine.queue_depth", 3)
+    tel.observe("simty.scanned", 5)
+    text = prometheus_text(tel)
+    assert "# HELP engine_events_total Cumulative count of engine.events events." in text
+    assert "# HELP engine_queue_depth Last observed value of engine.queue_depth." in text
+    assert "# HELP simty_scanned Distribution of simty.scanned observations." in text
+    # one HELP per family, even with several labelled cells
+    assert text.count("# HELP engine_events_total ") == 1
+    # HELP precedes TYPE, per the exposition format
+    lines = text.splitlines()
+    assert lines.index(
+        "# HELP engine_events_total Cumulative count of engine.events events."
+    ) + 1 == lines.index("# TYPE engine_events_total counter")
+
+
+def test_prometheus_escapes_label_values():
+    tel = Telemetry(clock=FakeClock())
+    tel.count("parse.errors", value=1, path='C:\\tmp\\"logs"\nline')
+    text = prometheus_text(tel)
+    assert (
+        'parse_errors_total{path="C:\\\\tmp\\\\\\"logs\\"\\nline"} 1' in text
+    )
+    # the raw control characters never leak into the exposition text
+    payload = [line for line in text.splitlines() if "parse_errors_total{" in line]
+    assert len(payload) == 1
+    assert "\t" not in payload[0]
+
+
+def test_prometheus_plain_label_values_are_untouched():
+    tel = Telemetry(clock=FakeClock())
+    tel.count("fleet.shards", value=4, status="completed")
+    assert 'fleet_shards_total{status="completed"} 4' in prometheus_text(tel)
