@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench paper validate examples serve-smoke chaos-smoke fleet-smoke collector-smoke clean
+.PHONY: install test bench paper validate examples serve-smoke chaos-smoke fleet-smoke collector-smoke scenario-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,9 @@ fleet-smoke:
 collector-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/collector_smoke.py \
 		--log collector-smoke.log --stream-dir collector-smoke-stream
+
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/scenario_smoke.py --log scenario-smoke.log
 
 examples:
 	@for script in examples/*.py; do \

@@ -84,6 +84,45 @@ def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        metavar="PATH",
+        default=None,
+        help=(
+            "declarative scenario config (TOML/JSON) to run instead of a "
+            "named --workload; list sources with `simty scenarios`"
+        ),
+    )
+
+
+def _load_scenario_spec(path: str):
+    """Load a scenario config file, turning problems into a clean exit."""
+    from ..workloads.sources import ScenarioConfigError, load_scenario
+
+    try:
+        return load_scenario(path)
+    except ScenarioConfigError as error:
+        raise SystemExit(
+            f"--scenario {path}: {len(error.problems)} problem(s)\n"
+            + error.format()
+        )
+    except OSError as error:
+        raise SystemExit(f"--scenario: {error}")
+
+
+def _resolve_workload(args: argparse.Namespace):
+    """The (workload name, workload kwargs) pair a command should run.
+
+    ``--scenario PATH`` overrides ``--workload``: the compiled spec rides
+    into the harness through the ``"scenario"`` registry builder.
+    """
+    path = getattr(args, "scenario", None)
+    if path is None:
+        return args.workload, {}
+    return "scenario", {"spec": _load_scenario_spec(path)}
+
+
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--queue-backend",
@@ -129,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one policy on one workload")
     _add_workload_arg(run)
+    _add_scenario_arg(run)
     _add_backend_arg(run)
     run.add_argument(
         "--policy", choices=sorted(POLICY_FACTORIES), default="simty"
@@ -159,6 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="NATIVE vs SIMTY on one workload")
     _add_workload_arg(compare)
+    _add_scenario_arg(compare)
     _add_backend_arg(compare)
     compare.add_argument("--beta", type=float, default=None)
     compare.add_argument(
@@ -241,6 +282,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="base seed; case i is generated from seed+i",
     )
+    fuzz_cmd.add_argument(
+        "--scenario-fraction",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "fraction of cases that fuzz scenario compositions instead of "
+            "raw alarm populations (default 0.25; 0 disables the axis)"
+        ),
+    )
+    fuzz_cmd.add_argument(
+        "--scenario",
+        metavar="PATH",
+        default=None,
+        help=(
+            "instead of a campaign, vet this one scenario config against "
+            "every detector (crash, invariants, backend/stepping equality)"
+        ),
+    )
 
     sweep = sub.add_parser("sweep", help="ablations and scaling studies")
     sweep.add_argument(
@@ -249,9 +309,43 @@ def _build_parser() -> argparse.ArgumentParser:
         default="beta",
     )
     _add_workload_arg(sweep)
+    _add_scenario_arg(sweep)
     _add_backend_arg(sweep)
     _add_harness_args(sweep)
     _add_telemetry_args(sweep)
+
+    scenarios_cmd = sub.add_parser(
+        "scenarios",
+        help=(
+            "list the registered scenario sources and their config "
+            "schemas; --check validates a config file, --canonical "
+            "exports a built-in workload as a starting-point config"
+        ),
+    )
+    scenarios_cmd.add_argument(
+        "--source",
+        metavar="NAME",
+        default=None,
+        help="show only this source's schema",
+    )
+    scenarios_cmd.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help=(
+            "validate a scenario config file; every problem is reported "
+            "(with did-you-mean suggestions) and the exit code is non-zero"
+        ),
+    )
+    scenarios_cmd.add_argument(
+        "--canonical",
+        metavar="NAME",
+        default=None,
+        help=(
+            "print a canonical scenario (e.g. 'light', 'diurnal-heavy') "
+            "as a JSON config to edit from"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -605,6 +699,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_workload_arg(requests_cmd)
+    _add_scenario_arg(requests_cmd)
     requests_cmd.add_argument("--beta", type=float, default=None)
     requests_cmd.add_argument(
         "--advance-every",
@@ -818,12 +913,14 @@ def _command_paper(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     hub = _telemetry_hub(args)
+    workload, workload_kwargs = _resolve_workload(args)
     result = run_experiment(
-        args.workload,
+        workload,
         args.policy,
         _scenario_config(args.beta),
         simulator_config=_simulator_config(args),
         telemetry=hub,
+        workload_kwargs=workload_kwargs,
     )
     print(
         f"{result.policy_name.upper()} on {result.workload_name}: "
@@ -853,15 +950,17 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     hub = _telemetry_hub(args)
+    workload, workload_kwargs = _resolve_workload(args)
     pair = run_pair(
-        args.workload,
+        workload,
         baseline_policy=args.baseline,
         improved_policy=args.improved,
         scenario_config=_scenario_config(args.beta),
         simulator_config=_simulator_config(args),
         telemetry=hub,
+        workload_kwargs=workload_kwargs,
     )
-    matrix = {args.workload: pair}
+    matrix = {workload: pair}
     print(render_fig3(matrix))
     print()
     print(render_fig4(matrix))
@@ -910,6 +1009,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     hub = _telemetry_hub(args)
     if hub is not None:
         cache.bind_telemetry(hub)
+    workload, workload_kwargs = _resolve_workload(args)
+    if args.kind == "scale" and args.scenario is not None:
+        raise SystemExit(
+            "--scenario is not supported with --kind scale (that sweep "
+            "generates its own synthetic workloads of growing size)"
+        )
     harness = dict(
         cache=cache,
         max_workers=args.workers,
@@ -918,17 +1023,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
         **_supervision_kwargs(args),
     )
     if args.kind == "beta":
-        rows = beta_sweep(workload=args.workload, **harness)
+        rows = beta_sweep(
+            workload=workload, workload_kwargs=workload_kwargs, **harness
+        )
     elif args.kind == "classifier":
-        rows = classifier_sweep(workload=args.workload, **harness)
+        rows = classifier_sweep(
+            workload=workload, workload_kwargs=workload_kwargs, **harness
+        )
     elif args.kind == "scale":
         rows = scale_sweep(**harness)
     elif args.kind == "bucket":
-        rows = bucket_sweep(workload=args.workload, **harness)
+        rows = bucket_sweep(
+            workload=workload, workload_kwargs=workload_kwargs, **harness
+        )
     elif args.kind == "sensitivity":
-        rows = sensitivity_sweep(workload=args.workload, **harness)
+        rows = sensitivity_sweep(
+            workload=workload, workload_kwargs=workload_kwargs, **harness
+        )
     else:
-        rows = duration_sweep(workload=args.workload, **harness)
+        rows = duration_sweep(
+            workload=workload, workload_kwargs=workload_kwargs, **harness
+        )
     if not rows:
         print("no results")
         return 1
@@ -958,10 +1073,30 @@ def _command_validate(args: argparse.Namespace) -> int:
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        from .fuzz import ScenarioCase, run_scenario_case
+
+        spec = _load_scenario_spec(args.scenario)
+        outcome = run_scenario_case(ScenarioCase(seed=args.seed, spec=spec))
+        if outcome.ok:
+            print(
+                f"{args.scenario}: ok — scenario {spec.name!r} "
+                f"({len(spec.sources)} source(s)) survived every detector "
+                "(crash, invariants, backend and stepping equality)"
+            )
+            return 0
+        print(f"{args.scenario}: {len(outcome.failures)} detector(s) fired")
+        for failure in outcome.failures:
+            print(f"  [{failure.kind}] {failure.detail}")
+        return 1
+
     from .fuzz import fuzz
 
+    extra = {}
+    if args.scenario_fraction is not None:
+        extra["scenario_fraction"] = args.scenario_fraction
     report = fuzz(
-        seed=args.seed, budget_s=args.budget, max_cases=args.cases
+        seed=args.seed, budget_s=args.budget, max_cases=args.cases, **extra
     )
     print(report.format())
     return 0 if report.ok else 1
@@ -1346,9 +1481,83 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from ..workloads.sources import (
+        CANONICAL_SCENARIOS,
+        ScenarioConfigError,
+        get_source,
+        load_scenario,
+        scenario_to_dict,
+        source_names,
+    )
+    from ..workloads.sources.base import suggest
+
+    if args.check is not None:
+        try:
+            spec = load_scenario(args.check)
+        except ScenarioConfigError as error:
+            print(f"{args.check}: {len(error.problems)} problem(s)")
+            print(error.format())
+            return 1
+        except OSError as error:
+            print(f"{args.check}: {error}")
+            return 1
+        print(
+            f"{args.check}: ok — scenario {spec.name!r}, "
+            f"{len(spec.sources)} source(s), horizon {spec.horizon} ms"
+        )
+        for use in spec.sources:
+            keys = ", ".join(key for key, _ in use.kwargs) or "defaults"
+            print(f"  {use.id}: {use.source} ({keys})")
+        return 0
+
+    if args.canonical is not None:
+        try:
+            factory = CANONICAL_SCENARIOS[args.canonical]
+        except KeyError:
+            print(
+                f"no canonical scenario named {args.canonical!r}"
+                f"{suggest(args.canonical, sorted(CANONICAL_SCENARIOS))}; "
+                f"choose from {sorted(CANONICAL_SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(scenario_to_dict(factory()), indent=2, sort_keys=True))
+        return 0
+
+    names = source_names()
+    if args.source is not None:
+        if args.source not in names:
+            print(
+                f"unknown source {args.source!r}"
+                f"{suggest(args.source, names)}; choose from {names}",
+                file=sys.stderr,
+            )
+            return 1
+        names = [args.source]
+    else:
+        print(
+            f"{len(names)} scenario sources — compose them in a TOML/JSON "
+            "config and run it with `simty run --scenario PATH` "
+            "(docs/scenarios.md):"
+        )
+        print()
+    for name in names:
+        source = get_source(name)
+        print(f"{name} — {source.description}")
+        for field in source.schema():
+            print(f"  {field.render()}")
+        print()
+    if args.source is None:
+        canon = ", ".join(sorted(CANONICAL_SCENARIOS))
+        print(f"canonical scenarios (export with --canonical NAME): {canon}")
+    return 0
+
+
 def _command_requests(args: argparse.Namespace) -> int:
-    builder = WORKLOAD_BUILDERS[args.workload]
-    workload = builder(_scenario_config(args.beta))
+    workload_name, workload_kwargs = _resolve_workload(args)
+    builder = WORKLOAD_BUILDERS[workload_name]
+    workload = builder(_scenario_config(args.beta), **workload_kwargs)
     lines = workload_request_lines(
         workload,
         advance_every_ms=args.advance_every,
@@ -1379,6 +1588,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "serve": _command_serve,
     "requests": _command_requests,
+    "scenarios": _command_scenarios,
     "fleet": _command_fleet,
     "top": _command_top,
     "explain": _command_explain,

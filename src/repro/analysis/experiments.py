@@ -62,15 +62,22 @@ def run_experiment(
     simulator_config: Optional[SimulatorConfig] = None,
     policy_factory: Optional[Callable[[], AlignmentPolicy]] = None,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[dict] = None,
 ) -> ExperimentResult:
     """Run one cell of the experiment matrix.
 
     ``policy_factory`` overrides the registry lookup, e.g. to inject a SIMTY
     variant with a non-default hardware-similarity classifier; such runs
     bypass the spec/cache machinery (a live factory has no stable digest).
+    ``workload_kwargs`` is passed to the workload builder — this is how a
+    declarative scenario reaches the harness (``workload="scenario"``,
+    ``workload_kwargs={"spec": ...}``).
     """
+    workload_kwargs = workload_kwargs or {}
     if policy_factory is not None:
-        built = DEFAULT_REGISTRY.build_workload(workload, scenario_config)
+        built = DEFAULT_REGISTRY.build_workload(
+            workload, scenario_config, **workload_kwargs
+        )
         return run_built(
             built,
             policy_factory(),
@@ -82,6 +89,7 @@ def run_experiment(
     spec = RunSpec(
         workload=workload,
         policy=policy,
+        workload_kwargs=workload_kwargs,
         scenario=scenario_config,
         simulator=simulator_config,
         model=model,
@@ -138,10 +146,12 @@ def pair_specs(
     scenario_config: Optional[ScenarioConfig] = None,
     model: PowerModel = NEXUS5,
     simulator_config: Optional[SimulatorConfig] = None,
+    workload_kwargs: Optional[dict] = None,
 ) -> tuple:
     """The (baseline, improved) :class:`RunSpec` pair for one workload."""
     common = dict(
         workload=workload,
+        workload_kwargs=workload_kwargs or {},
         scenario=scenario_config,
         simulator=simulator_config,
         model=model,
@@ -164,6 +174,7 @@ def run_pair(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[dict] = None,
 ) -> PairResult:
     """Run the paper's basic comparison on one workload.
 
@@ -178,6 +189,7 @@ def run_pair(
         scenario_config,
         model,
         simulator_config,
+        workload_kwargs,
     )
     baseline, improved = run_many(
         specs,

@@ -36,6 +36,16 @@ Cases are plain frozen dataclasses built from a single integer seed:
 ``generate_case(seed)`` is a pure function, so every failure is replayable
 from ``(seed,)`` alone and the CI smoke run (``simty fuzz --budget 60
 --seed 0``) is fully deterministic.
+
+Since the scenario source registry landed, the campaign also fuzzes
+*scenario compositions*: ``generate_scenario_case(seed)`` samples a random
+mix of registered sources (synthetic populations, push storms, calendar
+wakeups, churn waves, network-gated syncs, inline trace replays, fault
+injectors) into a :class:`~repro.workloads.sources.ScenarioSpec`, compiles
+it, and runs it through the same crash / invariant / backend / stepping
+detectors.  A failing composition is shrunk to a **minimal scenario
+config** — sources are greedily removed while the failure persists — and
+rendered as a pytest reproducer embedding the surviving config inline.
 """
 
 from __future__ import annotations
@@ -606,16 +616,321 @@ def render_case(case: FuzzCase) -> str:
 
 
 # ---------------------------------------------------------------------------
+# The scenario-composition axis
+# ---------------------------------------------------------------------------
+
+#: Fraction of campaign cases that fuzz scenario compositions instead of
+#: raw alarm populations.
+DEFAULT_SCENARIO_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One fuzzed scenario composition (plain data, like :class:`FuzzCase`)."""
+
+    seed: int
+    spec: "ScenarioSpec"
+
+
+@dataclass
+class ScenarioOutcome:
+    case: ScenarioCase
+    outcomes: Dict[str, PolicyOutcome]
+    failures: List[Failure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _random_source_use(rng: random.Random, index: int) -> "SourceUse":
+    """One random source instance with small, fast-to-simulate kwargs."""
+    from ..workloads.sources import SourceUse
+
+    kind = rng.choice(
+        (
+            "synthetic",
+            "synthetic",
+            "push-storm",
+            "calendar",
+            "network-gated",
+            "trace-replay",
+            "churn",
+            "external-wakes",
+        )
+    )
+    use_id = f"{kind}#{index}"
+    if kind == "synthetic":
+        kwargs = {
+            "app_count": rng.randint(1, 6),
+            "period_range_s": (30, rng.choice((120, 300, 600))),
+            "dynamic_fraction": rng.choice((0.0, 0.5, 1.0)),
+            "churn_fraction": rng.choice((0.0, 0.0, 0.4)),
+            "seed": rng.randrange(1 << 16),
+        }
+    elif kind == "push-storm":
+        kwargs = {
+            "rate_per_hour": rng.choice((30.0, 120.0, 360.0)),
+            "hardware": rng.choice(("none", "wifi", "speaker-vibrator")),
+            "seed": rng.randrange(1 << 16),
+        }
+    elif kind == "calendar":
+        kwargs = {
+            "times": tuple(
+                f"00:{rng.randrange(60):02d}" for _ in range(rng.randint(1, 3))
+            ),
+            "lead_ms": rng.choice((0, 10_000, 60_000)),
+        }
+    elif kind == "network-gated":
+        kwargs = {
+            "sessions_per_hour": rng.choice((2.0, 6.0, 20.0)),
+            "syncs_per_session": rng.randint(1, 4),
+            "seed": rng.randrange(1 << 16),
+        }
+    elif kind == "trace-replay":
+        kwargs = {
+            "events": tuple(
+                (
+                    f"replayed-{index}",
+                    rng.randrange(30_000, 500_000),
+                    rng.choice((0, 15_000, 60_000)),
+                    rng.choice((100, 1_000)),
+                )
+                for _ in range(rng.randint(1, 4))
+            ),
+            "lead_ms": rng.choice((0, 30_000)),
+        }
+    elif kind == "churn":
+        kwargs = {
+            "at_ms": rng.randrange(60_000, 400_000),
+            "pattern": rng.choice(("cancellation-storm", "app-update-wave")),
+            "spread_ms": rng.choice((0, 30_000)),
+            "seed": rng.randrange(1 << 16),
+        }
+    else:  # external-wakes
+        kwargs = {
+            "rate_per_hour": rng.choice((4.0, 12.0)),
+            "hold_ms": rng.choice((0, 500, 2_000)),
+            "seed": rng.randrange(1 << 16),
+        }
+    return SourceUse(kind, id=use_id, kwargs=kwargs)
+
+
+def generate_scenario_case(seed: int) -> ScenarioCase:
+    """Build one deterministic random scenario composition from a seed.
+
+    Compositions stay small (1-4 sources, 5-15 simulated minutes) so the
+    campaign covers many source *combinations* rather than a few long
+    runs.  A ``fault`` source is occasionally appended when a synthetic
+    source is present (faults need an app to target).
+    """
+    from ..workloads.sources import ScenarioSpec, SourceUse
+
+    rng = random.Random(f"scenario:{seed}")
+    horizon = rng.choice((5, 10, 15)) * 60_000
+    uses = [
+        _random_source_use(rng, index) for index in range(rng.randint(1, 4))
+    ]
+    synthetic_ids = [
+        use for use in uses if use.source == "synthetic"
+    ]
+    if synthetic_ids and rng.random() < 0.3:
+        target_use = rng.choice(synthetic_ids)
+        target_count = dict(target_use.kwargs)["app_count"]
+        uses.append(
+            SourceUse(
+                "fault",
+                id=f"fault#{len(uses)}",
+                kwargs={
+                    "app": f"synthetic-{rng.randrange(target_count)}",
+                    "kind": rng.choice(("no-sleep", "jitter", "storm")),
+                    "hold_ms": 30_000,
+                    "interval_divisor": 2,
+                    "seed": rng.randrange(1 << 16),
+                },
+            )
+        )
+    spec = ScenarioSpec(
+        name=f"fuzz-scenario-{seed}",
+        horizon=horizon,
+        sources=tuple(uses),
+        seed=rng.randrange(1 << 16),
+    )
+    return ScenarioCase(seed=seed, spec=spec)
+
+
+def _run_scenario_policy(
+    case: ScenarioCase,
+    policy_name: str,
+    queue_backend: str = DEFAULT_BACKEND,
+    driver: str = "run",
+) -> PolicyOutcome:
+    """Compile and run one scenario under one policy/backend/driver.
+
+    The compiled workload's alarms are re-numbered deterministically
+    (compilation draws from the process-global id counter, which would
+    make repeated compiles byte-incomparable).
+    """
+    from ..workloads.sources import ScenarioConfigError, compile_scenario
+
+    outcome = PolicyOutcome(policy=policy_name)
+    try:
+        workload = compile_scenario(case.spec)
+    except ScenarioConfigError as error:
+        outcome.error = f"ScenarioConfigError: {error}"
+        return outcome
+    for index, registration in enumerate(workload.registrations):
+        registration.alarm.alarm_id = index + 1
+    config = SimulatorConfig(
+        horizon=workload.horizon,
+        wake_latency_ms=0,
+        tail_ms=0,
+        monitor="record",
+        max_events=500_000,
+        queue_backend=queue_backend,
+    )
+    externals = [
+        ExternalWake(
+            time=event.time, hold_ms=event.hold_ms, description=event.description
+        )
+        for event in workload.externals
+    ]
+    simulator = Simulator(_make_policy(policy_name), config, externals)
+    try:
+        workload.apply(simulator)
+        trace = _drive(simulator, driver)
+    except Exception as error:  # noqa: BLE001 - a crash IS a finding
+        outcome.error = f"{type(error).__name__}: {error}"
+        return outcome
+    outcome.violations = list(trace.violations)
+    outcome.wake_count = trace.wake_count()
+    outcome.trace_json = json.dumps(trace_to_dict(trace), sort_keys=True)
+    for record in trace.deliveries():
+        outcome.delivered[record.label] = (
+            outcome.delivered.get(record.label, 0) + 1
+        )
+    return outcome
+
+
+def run_scenario_case(case: ScenarioCase) -> ScenarioOutcome:
+    """Run one composition under every policy × backend × driver.
+
+    Detectors: crash, invariant violations, backend byte-equality and
+    stepping byte-equality.  (The oracle and differential detectors need
+    churn/external-free static populations, which compositions rarely
+    are; the classic axis keeps those covered.)
+    """
+    outcomes = {
+        name: _run_scenario_policy(case, name) for name in POLICY_NAMES
+    }
+    failures: List[Failure] = []
+    for name, outcome in outcomes.items():
+        if outcome.error is not None:
+            failures.append(
+                Failure(kind="crash", detail=f"{name}: {outcome.error}")
+            )
+        for violation in outcome.violations:
+            failures.append(
+                Failure(kind="invariant", detail=f"{name}: {violation.format()}")
+            )
+    for name, reference in outcomes.items():
+        if reference.error is not None:
+            continue
+        for axis, kind, values in (
+            ("queue_backend", "backend", BACKEND_AXIS[1:]),
+            ("driver", "stepping", DRIVER_AXIS[1:]),
+        ):
+            for value in values:
+                rerun = _run_scenario_policy(case, name, **{axis: value})
+                if rerun.error is not None:
+                    failures.append(
+                        Failure(
+                            kind=kind,
+                            detail=(
+                                f"{name}: {value} crashed where the "
+                                f"reference did not: {rerun.error}"
+                            ),
+                        )
+                    )
+                elif rerun.trace_json != reference.trace_json:
+                    failures.append(
+                        Failure(
+                            kind=kind,
+                            detail=(
+                                f"{name}: serialized traces diverge on the "
+                                f"{value} {kind} axis"
+                            ),
+                        )
+                    )
+    return ScenarioOutcome(case=case, outcomes=outcomes, failures=failures)
+
+
+def shrink_scenario_case(
+    case: ScenarioCase,
+    kinds: frozenset,
+    run: Callable[[ScenarioCase], ScenarioOutcome] = run_scenario_case,
+) -> ScenarioCase:
+    """Greedily drop sources while the failure persists (minimal config)."""
+    shrunk = case
+    progress = True
+    while progress:
+        progress = False
+        for index in range(len(shrunk.spec.sources)):
+            sources = (
+                shrunk.spec.sources[:index] + shrunk.spec.sources[index + 1 :]
+            )
+            if not sources:
+                continue
+            candidate = ScenarioCase(
+                seed=shrunk.seed, spec=replace(shrunk.spec, sources=sources)
+            )
+            failing = frozenset(
+                failure.kind for failure in run(candidate).failures
+            )
+            if failing & kinds:
+                shrunk = candidate
+                progress = True
+                break
+    return shrunk
+
+
+def render_scenario_case(case: ScenarioCase) -> str:
+    """Render a composition as a pytest reproducer with the config inline."""
+    from ..workloads.sources import scenario_to_dict
+
+    payload = json.dumps(scenario_to_dict(case.spec), indent=4, sort_keys=True)
+    indented = "\n".join(f"    {row}" for row in payload.splitlines())
+    return "\n".join(
+        [
+            f"def test_fuzz_scenario_regression_seed_{case.seed}():",
+            '    """Shrunk scenario composition found by `simty fuzz`."""',
+            "    from repro.analysis.fuzz import ScenarioCase, run_scenario_case",
+            "    from repro.workloads.sources import scenario_from_dict",
+            "",
+            f"    config = {indented.lstrip()}",
+            f"    case = ScenarioCase(seed={case.seed}, "
+            "spec=scenario_from_dict(config))",
+            "    outcome = run_scenario_case(case)",
+            "    assert outcome.ok, [f.detail for f in outcome.failures]",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
 # The campaign driver
 # ---------------------------------------------------------------------------
 
 
 @dataclass
 class FuzzFailure:
-    """A failing case, its shrunk form, and the rendered reproducer."""
+    """A failing case, its shrunk form, and the rendered reproducer.
 
-    case: FuzzCase
-    shrunk: FuzzCase
+    ``case``/``shrunk`` are :class:`FuzzCase` for the classic axis and
+    :class:`ScenarioCase` for the scenario-composition axis.
+    """
+
+    case: object
+    shrunk: object
     failures: List[Failure]
     reproducer: str
 
@@ -634,6 +949,7 @@ class FuzzReport:
     backend_divergences: int = 0
     stepping_divergences: int = 0
     crashes: int = 0
+    scenario_cases_run: int = 0
 
     @property
     def ok(self) -> bool:
@@ -651,6 +967,7 @@ class FuzzReport:
             f"  backend divergences:      {self.backend_divergences}",
             f"  stepping divergences:     {self.stepping_divergences}",
             f"  crashes:                  {self.crashes}",
+            f"  scenario compositions:    {self.scenario_cases_run}",
         ]
         if self.ok:
             lines.append("  all cases clean")
@@ -671,19 +988,34 @@ def fuzz(
     budget_s: float = 60.0,
     max_cases: int = 1_000,
     clock: Callable[[], float] = time.monotonic,
+    scenario_fraction: float = DEFAULT_SCENARIO_FRACTION,
 ) -> FuzzReport:
     """Run a fuzz campaign until the time budget or case budget is spent.
 
     Case ``i`` is generated from ``seed + i``, so any failure is replayable
     in isolation; failing cases are shrunk and rendered immediately.
+    ``scenario_fraction`` of the cases (chosen deterministically per index)
+    fuzz scenario compositions instead of raw alarm populations; 0 disables
+    the axis, 1 fuzzes only compositions.
     """
+    if not 0.0 <= scenario_fraction <= 1.0:
+        raise ValueError("scenario_fraction must be a probability")
     started = clock()
     report = FuzzReport(seed=seed, cases_run=0, elapsed_s=0.0)
     for index in range(max_cases):
         if clock() - started >= budget_s:
             break
-        case = generate_case(seed + index)
-        outcome = run_case(case)
+        case_seed = seed + index
+        on_scenario_axis = (
+            random.Random(f"axis:{case_seed}").random() < scenario_fraction
+        )
+        if on_scenario_axis:
+            case = generate_scenario_case(case_seed)
+            outcome = run_scenario_case(case)
+            report.scenario_cases_run += 1
+        else:
+            case = generate_case(case_seed)
+            outcome = run_case(case)
         report.cases_run += 1
         for failure in outcome.failures:
             if failure.kind == "invariant":
@@ -699,13 +1031,19 @@ def fuzz(
             else:
                 report.crashes += 1
         if not outcome.ok:
-            shrunk = shrink_case(case, _failure_kinds(outcome))
+            kinds = frozenset(failure.kind for failure in outcome.failures)
+            if on_scenario_axis:
+                shrunk = shrink_scenario_case(case, kinds)
+                reproducer = render_scenario_case(shrunk)
+            else:
+                shrunk = shrink_case(case, kinds)
+                reproducer = render_case(shrunk)
             report.failures.append(
                 FuzzFailure(
                     case=case,
                     shrunk=shrunk,
                     failures=outcome.failures,
-                    reproducer=render_case(shrunk),
+                    reproducer=reproducer,
                 )
             )
     report.elapsed_s = clock() - started
@@ -716,6 +1054,10 @@ def violation_summary(report: FuzzReport) -> ViolationSummary:
     """Aggregate invariant-violation counts across a report's failures."""
     violations: List[Violation] = []
     for failure in report.failures:
-        for name, outcome in run_case(failure.case).outcomes.items():
+        if isinstance(failure.case, ScenarioCase):
+            rerun = run_scenario_case(failure.case)
+        else:
+            rerun = run_case(failure.case)
+        for outcome in rerun.outcomes.values():
             violations.extend(outcome.violations)
     return ViolationSummary.of(violations)

@@ -90,16 +90,27 @@ def beta_sweep(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
 ) -> List[Dict]:
     """Sweep the grace fraction; NATIVE is the beta-independent baseline."""
     cache = cache if cache is not None else ResultCache()
+    kwargs = workload_kwargs or {}
     specs = []
     for beta in betas:
-        specs.append(RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config))
+        specs.append(
+            RunSpec(
+                workload=workload,
+                policy="native",
+                workload_kwargs=kwargs,
+                model=model,
+                simulator=simulator_config,
+            )
+        )
         specs.append(
             RunSpec(
                 workload=workload,
                 policy="simty",
+                workload_kwargs=kwargs,
                 scenario=ScenarioConfig(beta=beta),
                 model=model, simulator=simulator_config,
             )
@@ -147,15 +158,26 @@ def classifier_sweep(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
 ) -> List[Dict]:
     """Compare the hardware-similarity granularities of Sec. 3.1.1."""
     cache = cache if cache is not None else ResultCache()
+    kwargs = workload_kwargs or {}
     chosen = list(names or sorted(HARDWARE_CLASSIFIERS))
-    specs = [RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config)]
+    specs = [
+        RunSpec(
+            workload=workload,
+            policy="native",
+            workload_kwargs=kwargs,
+            model=model,
+            simulator=simulator_config,
+        )
+    ]
     specs.extend(
         RunSpec(
             workload=workload,
             policy="simty",
+            workload_kwargs=kwargs,
             policy_kwargs={"classifier": name},
             policy_label=f"simty[{name}]",
             model=model, simulator=simulator_config,
@@ -261,6 +283,7 @@ def bucket_sweep(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
 ) -> List[Dict]:
     """Compare SIMTY with the fixed-interval remedy of [Lin et al.] (A4).
 
@@ -269,14 +292,16 @@ def bucket_sweep(
     user-experience damage SIMTY's search phase rules out by construction.
     """
     cache = cache if cache is not None else ResultCache()
+    kwargs = workload_kwargs or {}
     specs = [
-        RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
-        RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
+        RunSpec(workload=workload, policy="native", workload_kwargs=kwargs, model=model, simulator=simulator_config),
+        RunSpec(workload=workload, policy="simty", workload_kwargs=kwargs, model=model, simulator=simulator_config),
     ]
     specs.extend(
         RunSpec(
             workload=workload,
             policy="bucket",
+            workload_kwargs=kwargs,
             policy_kwargs={"bucket_interval": interval_s * 1000},
             policy_label=f"bucket-{interval_s}s",
             model=model, simulator=simulator_config,
@@ -331,6 +356,7 @@ def sensitivity_sweep(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
 ) -> List[Dict]:
     """Perturb the calibrated power constants and re-derive the headline.
 
@@ -342,10 +368,11 @@ def sensitivity_sweep(
     same traces.
     """
     cache = cache if cache is not None else ResultCache()
+    kwargs = workload_kwargs or {}
     records = run_many(
         [
-            RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
-            RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="native", workload_kwargs=kwargs, model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty", workload_kwargs=kwargs, model=model, simulator=simulator_config),
         ],
         **_harness_kwargs(
             cache,
@@ -410,14 +437,16 @@ def duration_sweep(
     checkpoint: Optional[RunJournal] = None,
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
 ) -> List[Dict]:
     """SIMTY vs the Sec. 5 duration-aware extension."""
     cache = cache if cache is not None else ResultCache()
+    kwargs = workload_kwargs or {}
     records = run_many(
         [
-            RunSpec(workload=workload, policy="native", model=model, simulator=simulator_config),
-            RunSpec(workload=workload, policy="simty", model=model, simulator=simulator_config),
-            RunSpec(workload=workload, policy="simty+dur", model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="native", workload_kwargs=kwargs, model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty", workload_kwargs=kwargs, model=model, simulator=simulator_config),
+            RunSpec(workload=workload, policy="simty+dur", workload_kwargs=kwargs, model=model, simulator=simulator_config),
         ],
         **_harness_kwargs(
             cache,

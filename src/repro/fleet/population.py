@@ -38,11 +38,13 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..runner.spec import KwargsLike, RunSpec, _freeze_kwargs, encode_value
 from ..simulator.engine import SimulatorConfig
+from ..workloads.sources import ScenarioSpec, SourceUse
 
 #: Bump when the derivation or encoding changes so stale shard journals
 #: (which embed the population digest) are never resumed against a fleet
-#: that would simulate different devices.
-POPULATION_SCHEMA = 1
+#: that would simulate different devices.  Schema 2: archetypes grew the
+#: ``scenario`` template field (declarative per-device workloads).
+POPULATION_SCHEMA = 2
 
 #: Sampler kinds accepted in ``DeviceArchetype.sampled_kwargs`` values.
 SAMPLER_KINDS = ("randint", "uniform", "choice")
@@ -57,6 +59,13 @@ class DeviceArchetype:
     lo, hi)``, ``("uniform", lo, hi)`` or ``("choice", (a, b, ...))`` —
     resolved per device from the device's derived RNG, so two devices of
     the same archetype still differ in composition, deterministically.
+
+    ``scenario`` switches the archetype to declarative workloads: devices
+    run the compiled :class:`~repro.workloads.sources.ScenarioSpec`, and
+    both ``workload_kwargs`` (fixed) and ``sampled_kwargs`` (per-device)
+    address *scenario overrides* with dotted ``"<source id>.<key>"`` keys
+    (plain keys hit scenario fields like ``horizon``).  Bad keys fail at
+    archetype construction, not on device one million.
     """
 
     name: str
@@ -66,6 +75,7 @@ class DeviceArchetype:
     workload_kwargs: KwargsLike = ()
     sampled_kwargs: KwargsLike = ()
     policy_kwargs: KwargsLike = ()
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -83,6 +93,14 @@ class DeviceArchetype:
             raise ValueError(f"archetype {self.name!r}: weight must be > 0")
         for key, spec in self.sampled_kwargs:
             _validate_sampler(self.name, key, spec)
+        if self.scenario is not None:
+            # Probe the override targets once with representative values so
+            # a typo'd source id or key fails here, not mid-fleet.
+            probes = dict(self.workload_kwargs)
+            for key, spec in self.sampled_kwargs:
+                probes[key] = _sample_probe(spec)
+            if probes:
+                self.scenario.override(probes)
 
 
 def _validate_sampler(archetype: str, key: str, spec) -> None:
@@ -108,6 +126,16 @@ def _sample(spec: tuple, rng: random.Random):
     if kind == "uniform":
         return rng.uniform(float(spec[1]), float(spec[2]))
     return rng.choice(list(spec[1]))
+
+
+def _sample_probe(spec: tuple):
+    """A representative (deterministic) value a sampler could produce."""
+    kind = spec[0]
+    if kind == "randint":
+        return int(spec[1])
+    if kind == "uniform":
+        return float(spec[1])
+    return list(spec[1])[0]
 
 
 @dataclass(frozen=True)
@@ -199,16 +227,27 @@ class PopulationSpec:
         archetype = self._pick_archetype(pick)
         device_seed = int.from_bytes(material[0:8], "big") % (1 << 31)
         sampler_rng = random.Random(int.from_bytes(material[16:24], "big"))
-        kwargs: Dict[str, object] = dict(archetype.workload_kwargs)
-        for key, spec in archetype.sampled_kwargs:
-            kwargs[key] = _sample(spec, sampler_rng)
+        if archetype.scenario is not None:
+            assignments: Dict[str, object] = dict(archetype.workload_kwargs)
+            for key, spec in archetype.sampled_kwargs:
+                assignments[key] = _sample(spec, sampler_rng)
+            scenario = archetype.scenario
+            if assignments:
+                scenario = scenario.override(assignments)
+            workload_name = "scenario"
+            kwargs: Dict[str, object] = {"spec": scenario}
+        else:
+            workload_name = archetype.workload
+            kwargs = dict(archetype.workload_kwargs)
+            for key, spec in archetype.sampled_kwargs:
+                kwargs[key] = _sample(spec, sampler_rng)
         simulator = None
         if self.queue_backend is not None or self.monitor is not None:
             simulator = SimulatorConfig(
                 queue_backend=self.queue_backend, monitor=self.monitor
             )
         run = RunSpec(
-            workload=archetype.workload,
+            workload=workload_name,
             policy=archetype.policy,
             policy_kwargs=archetype.policy_kwargs,
             workload_kwargs=kwargs,
@@ -309,10 +348,68 @@ MICRO_ARCHETYPES: Tuple[DeviceArchetype, ...] = (
     ),
 )
 
+#: Scenario-driven devices: the paper's populations plus a push-heavy
+#: messenger mix, each a declarative ScenarioSpec with per-device sampled
+#: overrides.  ``phase_seed`` stays unpinned so every device's app phases
+#: derive from its own device seed.  Short horizons keep fleet smokes fast.
+SCENARIO_ARCHETYPES: Tuple[DeviceArchetype, ...] = (
+    DeviceArchetype(
+        name="paper-light",
+        weight=0.45,
+        policy="simty",
+        scenario=ScenarioSpec(
+            name="paper-light",
+            horizon=600_000,
+            sources=(
+                SourceUse("table3-apps", kwargs={"set": "light"}),
+                SourceUse("background"),
+            ),
+        ),
+        sampled_kwargs={
+            "table3-apps.install_window_ms": ("randint", 120_000, 600_000),
+            "background.oneshots_per_hour": ("uniform", 5.0, 25.0),
+        },
+    ),
+    DeviceArchetype(
+        name="paper-heavy",
+        weight=0.35,
+        policy="simty",
+        scenario=ScenarioSpec(
+            name="paper-heavy",
+            horizon=600_000,
+            sources=(
+                SourceUse("table3-apps", kwargs={"set": "heavy"}),
+                SourceUse("background"),
+            ),
+        ),
+        sampled_kwargs={
+            "background.nonwakeups_per_hour": ("uniform", 10.0, 30.0),
+        },
+    ),
+    DeviceArchetype(
+        name="push-messenger",
+        weight=0.2,
+        policy="simty",
+        scenario=ScenarioSpec(
+            name="push-messenger",
+            horizon=600_000,
+            sources=(
+                SourceUse("synthetic", kwargs={"app_count": 6}),
+                SourceUse("push-storm", kwargs={"rate_per_hour": 40.0}),
+            ),
+        ),
+        sampled_kwargs={
+            "synthetic.app_count": ("randint", 3, 10),
+            "push-storm.rate_per_hour": ("uniform", 20.0, 120.0),
+        },
+    ),
+)
+
 #: Named mixes selectable from the CLI (``simty fleet --archetypes ...``).
 ARCHETYPE_SETS: Dict[str, Tuple[DeviceArchetype, ...]] = {
     "standard": STANDARD_ARCHETYPES,
     "micro": MICRO_ARCHETYPES,
+    "scenario": SCENARIO_ARCHETYPES,
 }
 
 

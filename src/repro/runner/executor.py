@@ -74,7 +74,9 @@ def run_built(
     """Run an already-built workload under a policy instance.
 
     ``external_events`` injects user/push wakes (see
-    :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`).
+    :mod:`repro.simulator.external` and :mod:`repro.workloads.diurnal`);
+    wakes the workload itself carries (``workload.externals``, e.g. from
+    scenario sources) are merged in automatically, in time order.
     ``telemetry`` instruments the run; the hub's summary rides on
     ``result.trace.telemetry``.  ``audit`` records sampled alignment
     decisions onto ``result.trace.decisions`` (see
@@ -83,6 +85,10 @@ def run_built(
     config = simulator_config or SimulatorConfig(horizon=workload.horizon)
     if config.horizon != workload.horizon:
         config = dataclasses.replace(config, horizon=workload.horizon)
+    if workload.externals:
+        merged = list(external_events) + list(workload.externals)
+        merged.sort(key=lambda event: event.time)
+        external_events = tuple(merged)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     simulator = Simulator(
         policy,

@@ -200,6 +200,66 @@ def _build_synthetic(
     return generate(SyntheticConfig(**kwargs), seed=seed)
 
 
+def _build_scenario(
+    config: Optional[ScenarioConfig] = None,
+    *,
+    seed: Optional[int] = None,
+    spec: Any = None,
+    path: Optional[str] = None,
+    canonical: Optional[str] = None,
+    **kwargs: Any,
+) -> Workload:
+    """Compile a declarative scenario (the ``"scenario"`` workload).
+
+    Exactly one of ``spec`` (a :class:`ScenarioSpec`, which pickles across
+    pool workers inside ``workload_kwargs``), ``path`` (a TOML/JSON config
+    file) or ``canonical`` (a canonical scenario name) selects the
+    scenario; ``seed`` is the run-level base seed threaded into every
+    source's derivation.  The positional ``config`` is accepted for
+    builder-protocol parity but unused — a scenario carries its own
+    horizon and knobs.
+    """
+    from ..workloads.sources import (
+        CANONICAL_SCENARIOS,
+        ScenarioConfigError,
+        compile_scenario,
+        load_scenario,
+    )
+    from ..workloads.sources.base import suggest
+
+    del config  # scenarios are self-contained
+    selectors = [value for value in (spec, path, canonical) if value is not None]
+    if len(selectors) != 1:
+        raise ScenarioConfigError(
+            [
+                "the 'scenario' workload needs exactly one of spec=, path= "
+                "or canonical="
+            ]
+        )
+    if kwargs:
+        raise ScenarioConfigError(
+            [
+                f"unknown 'scenario' workload kwarg {key!r}; override source "
+                "kwargs inside the spec instead"
+                for key in sorted(kwargs)
+            ]
+        )
+    if path is not None:
+        spec = load_scenario(path)
+    elif canonical is not None:
+        try:
+            spec = CANONICAL_SCENARIOS[canonical]()
+        except KeyError:
+            raise ScenarioConfigError(
+                [
+                    f"no canonical scenario named {canonical!r}"
+                    f"{suggest(canonical, sorted(CANONICAL_SCENARIOS))}; "
+                    f"choose from {sorted(CANONICAL_SCENARIOS)}"
+                ]
+            ) from None
+    return compile_scenario(spec, seed=seed)
+
+
 def _install_defaults(registry: Registry) -> Registry:
     registry.register_policy("native", NativePolicy)
     registry.register_policy("simty", _make_simty)
@@ -209,6 +269,7 @@ def _install_defaults(registry: Registry) -> Registry:
     registry.register_workload("light", _build_light)
     registry.register_workload("heavy", _build_heavy)
     registry.register_workload("synthetic", _build_synthetic)
+    registry.register_workload("scenario", _build_scenario)
     return registry
 
 

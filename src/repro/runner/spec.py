@@ -32,7 +32,10 @@ from ..workloads.scenarios import ScenarioConfig
 #: Bump when the encoding itself changes, so stale on-disk caches never
 #: alias fresh results.  Schema 2: ``SimulatorConfig.queue_backend`` joined
 #: the dataclass encoding, so backend choice keys cached results.
-DIGEST_SCHEMA = 2
+#: Schema 3: the scenario source registry landed — ``BackgroundConfig``
+#: became ``BackgroundLoad`` (dataclasses encode by type name) and the
+#: ``"scenario"`` workload embeds a ``ScenarioSpec`` in its kwargs.
+DIGEST_SCHEMA = 3
 
 KwargsLike = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
 

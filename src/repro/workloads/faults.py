@@ -79,6 +79,7 @@ def _derive(
         registrations=registrations,
         horizon=workload.horizon,
         directives=list(workload.directives),
+        externals=list(workload.externals),
     )
 
 

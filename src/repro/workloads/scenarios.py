@@ -1,21 +1,37 @@
-"""The paper's evaluation scenarios (Sec. 4.1) plus background load.
+"""Workload plumbing: :class:`Workload`, the paper scenarios, background load.
 
-Two workloads are investigated: the **light** workload — Alarm Clock plus the
-11 apps whose alarms wakelock only the Wi-Fi (isolating *time* similarity) —
-and the **heavy** workload — all 18 apps, adding WPS, accelerometer and
-speaker/vibrator users (exercising *hardware* similarity too).
+The paper's evaluation (Sec. 4.1) fixes two workloads — **light** (Alarm
+Clock plus the 11 apps whose alarms wakelock only the Wi-Fi, isolating
+*time* similarity) and **heavy** (all 18 Table 3 apps, adding WPS,
+accelerometer and speaker/vibrator users, exercising *hardware* similarity
+too) — and those remain the canonical entry points here.  But the repo has
+long outgrown "two workloads": synthetic populations
+(:mod:`repro.workloads.synthetic`), diurnal days
+(:mod:`repro.workloads.diurnal`), mid-run churn
+(:mod:`repro.workloads.churn`), push conversion, fault injection and trace
+replay all build or derive :class:`Workload` values.  Since the scenario
+source registry landed (:mod:`repro.workloads.sources`), *every* named
+workload — including light and heavy — is expressed as a declarative
+composition of sources and compiled by
+:func:`repro.workloads.sources.compile_scenario`; the builders below are
+back-compat shims over those canonical scenario configs, proven
+byte-identical to the historical construction by the equivalence suite.
 
 Table 4's CPU row "also count[s] one-shot and system alarms": real phones
 run framework services and sporadic one-shot timers besides the major app
-alarms.  :class:`BackgroundConfig` models that population — a few periodic
+alarms.  :class:`BackgroundLoad` models that population — a few periodic
 system services plus seeded streams of one-shot wakeup and non-wakeup
 alarms — so absolute wakeup counts land in the paper's range.  Background
 alarms wakelock no extra hardware, so they only influence the CPU row.
+Construct it through the registered ``background`` scenario source when
+composing configs; the old :class:`BackgroundConfig` name remains as a
+deprecated construction shim.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +42,7 @@ from ..simulator.engine import Simulator
 from .apps import PAPER_BETA, AppSpec, heavy_apps, light_apps
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simulator.external import ExternalWake
     from .churn import Directive
 
 
@@ -45,13 +62,17 @@ class Workload:
     same config) for every run rather than re-applying one instance.
     ``directives`` scripts mid-run churn (see :mod:`repro.workloads.churn`);
     cancel/re-register targets are resolved by label against the
-    registrations and any mid-run installs preceding them.
+    registrations and any mid-run installs preceding them.  ``externals``
+    carries external wake events (push messages, screen-on sessions) that
+    belong to the workload itself — the run harness hands them to the
+    simulator alongside any externals the caller injects explicitly.
     """
 
     name: str
     registrations: List[Registration]
     horizon: int
     directives: List["Directive"] = field(default_factory=list)
+    externals: List["ExternalWake"] = field(default_factory=list)
 
     def apply(self, simulator: Simulator) -> None:
         for registration in self.registrations:
@@ -78,7 +99,7 @@ class Workload:
 
 
 @dataclass(frozen=True)
-class BackgroundConfig:
+class BackgroundLoad:
     """Synthetic one-shot and system-alarm population (CPU-row calibration)."""
 
     include_system_services: bool = True
@@ -107,6 +128,29 @@ class BackgroundConfig:
     seed: int = 20160605  # DAC'16 started June 5, 2016
 
 
+class BackgroundConfig(BackgroundLoad):
+    """Deprecated construction shim for :class:`BackgroundLoad`.
+
+    Direct construction is deprecated in favour of the ``background``
+    scenario source (``repro.workloads.sources``), which validates its
+    kwargs and derives seeds deterministically; library code that only
+    needs the plain dataclass should use :class:`BackgroundLoad`.
+    Instances carry exactly the :class:`BackgroundLoad` fields and build
+    identical registrations.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "constructing BackgroundConfig directly is deprecated; compose "
+            "the 'background' scenario source instead (see "
+            "repro.workloads.sources), or use BackgroundLoad for the plain "
+            "dataclass",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
     """Everything needed to build a reproducible scenario."""
@@ -120,7 +164,7 @@ class ScenarioConfig:
     #: a fixed per-app stagger would phase-lock same-period apps.
     install_window_ms: int = 600_000
     phase_seed: int = 1
-    background: BackgroundConfig = field(default_factory=BackgroundConfig)
+    background: BackgroundLoad = field(default_factory=BackgroundLoad)
 
     def with_beta(self, beta: float) -> "ScenarioConfig":
         return replace(self, beta=beta)
@@ -217,6 +261,9 @@ def _oneshot_stream(
 
 
 def _build(name: str, apps: List[AppSpec], config: ScenarioConfig) -> Workload:
+    """The pre-registry construction, kept verbatim as the equivalence
+    reference: the compiled canonical configs must reproduce its output
+    byte-for-byte (tests/workloads/test_scenario_equivalence.py)."""
     registrations = major_registrations(apps, config)
     registrations.extend(background_registrations(config))
     registrations.sort(key=lambda registration: registration.time)
@@ -224,15 +271,29 @@ def _build(name: str, apps: List[AppSpec], config: ScenarioConfig) -> Workload:
 
 
 def build_light(config: Optional[ScenarioConfig] = None) -> Workload:
-    """The light workload: 12 apps, Wi-Fi-only majors + Alarm Clock."""
+    """The light workload: 12 apps, Wi-Fi-only majors + Alarm Clock.
+
+    Back-compat shim: compiles the canonical ``light`` scenario config
+    (``table3-apps`` + ``background`` sources) pinned to ``config``.
+    """
     config = config or ScenarioConfig()
-    return _build("light", light_apps(), config)
+    from .sources import compile_scenario
+    from .sources.canon import canonical_scenario
+
+    return compile_scenario(canonical_scenario("light", config))
 
 
 def build_heavy(config: Optional[ScenarioConfig] = None) -> Workload:
-    """The heavy workload: all 18 apps of Table 3."""
+    """The heavy workload: all 18 apps of Table 3.
+
+    Back-compat shim over the canonical ``heavy`` scenario config, like
+    :func:`build_light`.
+    """
     config = config or ScenarioConfig()
-    return _build("heavy", heavy_apps(), config)
+    from .sources import compile_scenario
+    from .sources.canon import canonical_scenario
+
+    return compile_scenario(canonical_scenario("heavy", config))
 
 
 SCENARIOS = {

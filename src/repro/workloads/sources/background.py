@@ -1,0 +1,71 @@
+"""The ``background`` source: system services and one-shot streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..apps import PAPER_BETA
+from ..scenarios import BackgroundLoad, ScenarioConfig, background_registrations
+from .base import BuildContext, ScenarioSource, SourceBuild
+
+_DEFAULTS = BackgroundLoad()
+
+
+class BackgroundSource(ScenarioSource):
+    """The Table 4 CPU-row calibration population.
+
+    Periodic framework services plus seeded streams of one-shot wakeup and
+    non-wakeup alarms, built by
+    :func:`~repro.workloads.scenarios.background_registrations`.  The
+    ``seed`` deliberately does *not* track the run seed — the historical
+    builders always pinned it — so existing digests keep their meaning;
+    pass ``seed`` explicitly to vary the streams.
+    """
+
+    name = "background"
+    description = "System services plus one-shot / non-wakeup alarm streams"
+
+    @dataclass(frozen=True)
+    class Config:
+        include_system_services: bool = True
+        system_services: Optional[Tuple[Tuple[str, int, float], ...]] = None
+        oneshots_per_hour: float = _DEFAULTS.oneshots_per_hour
+        oneshot_window_s: Tuple[int, int] = _DEFAULTS.oneshot_window_s
+        oneshot_lead_s: int = _DEFAULTS.oneshot_lead_s
+        oneshot_task_ms: int = _DEFAULTS.oneshot_task_ms
+        nonwakeups_per_hour: float = _DEFAULTS.nonwakeups_per_hour
+        seed: int = _DEFAULTS.seed
+        beta: float = PAPER_BETA
+
+    field_docs = {
+        "include_system_services": "register the periodic framework services",
+        "system_services": "override the (label, period s, alpha) service table",
+        "oneshots_per_hour": "mean rate of one-shot wakeup alarms",
+        "oneshot_window_s": "(low, high) seconds for one-shot window draws",
+        "oneshot_lead_s": "one-shots are registered this many seconds early",
+        "oneshot_task_ms": "task duration of every background alarm",
+        "nonwakeups_per_hour": "mean rate of non-wakeup one-shot alarms",
+        "seed": "stream RNG seed (pinned, not the run seed, by design)",
+        "beta": "grace fraction clamp for the periodic services",
+    }
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        load_kwargs = dict(
+            include_system_services=config.include_system_services,
+            oneshots_per_hour=config.oneshots_per_hour,
+            oneshot_window_s=config.oneshot_window_s,
+            oneshot_lead_s=config.oneshot_lead_s,
+            oneshot_task_ms=config.oneshot_task_ms,
+            nonwakeups_per_hour=config.nonwakeups_per_hour,
+            seed=config.seed,
+        )
+        if config.system_services is not None:
+            load_kwargs["system_services"] = config.system_services
+        scenario = ScenarioConfig(
+            beta=config.beta,
+            horizon=ctx.horizon,
+            background=BackgroundLoad(**load_kwargs),
+        )
+        return SourceBuild(registrations=background_registrations(scenario))

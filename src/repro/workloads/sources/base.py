@@ -1,0 +1,373 @@
+"""The scenario-source plugin protocol and registry.
+
+A *scenario source* is one named, self-describing contributor to a
+workload: it declares a typed config schema (a frozen dataclass), validates
+plain kwargs against it with structured, did-you-mean errors, and —
+given a :class:`BuildContext` — emits a :class:`SourceBuild` of alarm
+registrations, mid-run churn directives, external wake events and
+whole-workload transforms (fault injectors).  The
+:func:`~repro.workloads.sources.spec.compile_scenario` compiler strings
+any declared set of sources into one :class:`~repro.workloads.scenarios.Workload`.
+
+The pattern follows ``autosuspend``'s ``checks/`` plugin layout: each
+check/source is a class registered under a stable name, constructed only
+from declarative configuration, so new workload ingredients plug in
+without touching the compiler, the CLI, the fleet or the fuzz harness.
+
+Determinism contract: a source must draw randomness only from seeds that
+are either pinned in its config or derived through
+:meth:`BuildContext.seed_for`, which hashes the scenario digest, the
+run seed and the source's position — never from global RNG state.  The
+same ``(ScenarioSpec, seed)`` therefore always compiles to a
+byte-identical workload, in any process, under any sharding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import typing
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from ...simulator.external import ExternalWake
+from ..churn import Directive
+from ..scenarios import Registration, Workload
+
+
+class ScenarioConfigError(ValueError):
+    """A scenario config failed validation.
+
+    ``problems`` is a list of human-readable, located messages (one per
+    defect), so a config file with three typos reports all three at once
+    instead of dying on the first.
+    """
+
+    def __init__(self, problems: Sequence[str]) -> None:
+        self.problems: List[str] = list(problems)
+        super().__init__("; ".join(self.problems))
+
+    def format(self) -> str:
+        return "\n".join(f"  - {problem}" for problem in self.problems)
+
+
+class UnknownSourceError(ScenarioConfigError, KeyError):
+    """An unregistered scenario-source name, with a suggestion."""
+
+
+def suggest(name: str, known: Sequence[str]) -> str:
+    """A ``"; did you mean 'x'?"`` suffix, or ``""`` when nothing is close."""
+    close = difflib.get_close_matches(name, list(known), n=1, cutoff=0.5)
+    return f"; did you mean {close[0]!r}?" if close else ""
+
+
+# ---------------------------------------------------------------------------
+# Schema: introspected from each source's frozen Config dataclass
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared config field of a source: name, type, default, doc."""
+
+    name: str
+    type_name: str
+    default: Any
+    required: bool
+    doc: str = ""
+
+    def render(self) -> str:
+        tail = "required" if self.required else f"default {self.default!r}"
+        doc = f" — {self.doc}" if self.doc else ""
+        return f"{self.name}: {self.type_name} ({tail}){doc}"
+
+
+def _type_name(annotation: Any) -> str:
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if len(args) == 1:
+            return f"{_type_name(args[0])} | None"
+        return " | ".join(_type_name(a) for a in args)
+    if origin in (tuple, Tuple):
+        return "tuple"
+    if hasattr(annotation, "__name__"):
+        return annotation.__name__
+    return str(annotation)
+
+
+def _accepts(annotation: Any, value: Any) -> bool:
+    """Structural type check, permissive the way config files need:
+    ints pass for floats, lists pass for tuples (and are coerced upstream),
+    and ``Optional`` accepts ``None``."""
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        return any(_accepts(arg, value) for arg in typing.get_args(annotation))
+    if annotation is type(None):
+        return value is None
+    if annotation is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if annotation is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if annotation is bool:
+        return isinstance(value, bool)
+    if annotation is str:
+        return isinstance(value, str)
+    if origin in (tuple, Tuple):
+        return isinstance(value, tuple)
+    if annotation is Any or annotation is dataclasses.MISSING:
+        return True
+    return isinstance(value, annotation) if isinstance(annotation, type) else True
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively turn lists (what TOML/JSON parsers yield) into tuples."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, tuple):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Build-time plumbing
+# ---------------------------------------------------------------------------
+
+#: A whole-workload transform (fault injector): Workload -> Workload.
+WorkloadTransform = Callable[[Workload], Workload]
+
+
+@dataclass
+class SourceBuild:
+    """Everything one source contributes to the compiled workload."""
+
+    registrations: List[Registration] = field(default_factory=list)
+    directives: List[Directive] = field(default_factory=list)
+    externals: List[ExternalWake] = field(default_factory=list)
+    transforms: List[WorkloadTransform] = field(default_factory=list)
+
+
+@dataclass
+class BuildContext:
+    """What a source may read while building.
+
+    ``registrations_so_far`` exposes the output of every *earlier* source
+    in declaration order, so churn/fault sources can resolve label targets
+    against the population being composed; sources never see later
+    sources (composition is a single left-to-right pass).
+    """
+
+    horizon: int
+    scenario_digest: str
+    source_id: str
+    source_index: int
+    base_seed: Optional[int] = None
+    registrations_so_far: List[Registration] = field(default_factory=list)
+
+    def seed_for(self, *tokens: object) -> int:
+        """A deterministic per-source seed from the scenario identity.
+
+        Hashes the scenario digest, the run-level seed, the source's
+        position/id and any extra tokens; pure data in, pure data out —
+        identical across processes, queue backends, drivers and shards.
+        """
+        material = ":".join(
+            [
+                self.scenario_digest,
+                str(self.base_seed),
+                str(self.source_index),
+                self.source_id,
+                *[str(token) for token in tokens],
+            ]
+        )
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % (1 << 31)
+
+    def effective_seed(self, configured: Optional[int], fallback: int) -> int:
+        """Legacy-compatible seed resolution for the paper-era sources.
+
+        Explicit config wins; otherwise the run-level seed (mirroring how
+        ``RunSpec.seed`` historically replaced ``phase_seed``); otherwise
+        the historical default.
+        """
+        if configured is not None:
+            return configured
+        if self.base_seed is not None:
+            return self.base_seed
+        return fallback
+
+    def labels_so_far(self) -> List[str]:
+        return [r.alarm.label for r in self.registrations_so_far]
+
+
+# ---------------------------------------------------------------------------
+# The source base class
+# ---------------------------------------------------------------------------
+
+
+class ScenarioSource:
+    """Base class for scenario sources.
+
+    Subclasses set ``name`` (the registry key), ``description`` (one line,
+    shown by ``simty scenarios``), a frozen dataclass ``Config``, and
+    implement :meth:`build`.  Optional per-field docs go in
+    ``field_docs`` (name -> one-liner).
+    """
+
+    name: str = ""
+    description: str = ""
+    Config: Type[Any] = None  # type: ignore[assignment]
+    field_docs: Mapping[str, str] = {}
+
+    def __init__(self, config: Any) -> None:
+        self.config = config
+
+    # -- schema ---------------------------------------------------------
+    @classmethod
+    def schema(cls) -> Tuple[FieldSpec, ...]:
+        specs = []
+        for f in dataclasses.fields(cls.Config):
+            required = (
+                f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING
+            )
+            default = None if required else (
+                f.default
+                if f.default is not dataclasses.MISSING
+                else f.default_factory()
+            )
+            specs.append(
+                FieldSpec(
+                    name=f.name,
+                    type_name=_type_name(f.type),
+                    default=default,
+                    required=required,
+                    doc=dict(cls.field_docs).get(f.name, ""),
+                )
+            )
+        return tuple(specs)
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return [f.name for f in dataclasses.fields(cls.Config)]
+
+    # -- validation -----------------------------------------------------
+    @classmethod
+    def validate_kwargs(
+        cls, kwargs: Mapping[str, Any], where: str = ""
+    ) -> List[str]:
+        """All validation problems with ``kwargs`` (empty = valid)."""
+        prefix = f"{where}: " if where else ""
+        problems: List[str] = []
+        fields_by_name = {f.name: f for f in dataclasses.fields(cls.Config)}
+        for key, value in kwargs.items():
+            spec = fields_by_name.get(key)
+            if spec is None:
+                problems.append(
+                    f"{prefix}unknown key {key!r} for source {cls.name!r}"
+                    f"{suggest(key, list(fields_by_name))}"
+                )
+                continue
+            frozen = _freeze(value)
+            annotation = _resolved_annotation(cls.Config, spec.name)
+            if not _accepts(annotation, frozen):
+                problems.append(
+                    f"{prefix}key {key!r} expects {_type_name(annotation)}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+        for name, spec in fields_by_name.items():
+            required = (
+                spec.default is dataclasses.MISSING
+                and spec.default_factory is dataclasses.MISSING
+            )
+            if required and name not in kwargs:
+                problems.append(
+                    f"{prefix}missing required key {name!r} for source "
+                    f"{cls.name!r}"
+                )
+        return problems
+
+    @classmethod
+    def from_kwargs(
+        cls, kwargs: Mapping[str, Any], where: str = ""
+    ) -> "ScenarioSource":
+        """Validate and instantiate; raises :class:`ScenarioConfigError`."""
+        problems = cls.validate_kwargs(kwargs, where=where)
+        if problems:
+            raise ScenarioConfigError(problems)
+        frozen = {key: _freeze(value) for key, value in kwargs.items()}
+        try:
+            config = cls.Config(**frozen)
+        except (TypeError, ValueError) as error:
+            prefix = f"{where}: " if where else ""
+            raise ScenarioConfigError(
+                [f"{prefix}source {cls.name!r}: {error}"]
+            ) from None
+        return cls(config)
+
+    # -- building -------------------------------------------------------
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        raise NotImplementedError
+
+
+def _resolved_annotation(config_cls: Type[Any], field_name: str) -> Any:
+    """The field's real (resolved) type annotation.
+
+    ``from __future__ import annotations`` turns annotations into strings;
+    ``typing.get_type_hints`` resolves them back against the module scope.
+    """
+    hints = typing.get_type_hints(config_cls)
+    return hints.get(field_name, Any)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_SOURCES: Dict[str, Type[ScenarioSource]] = {}
+
+
+def register_source(
+    cls: Type[ScenarioSource], *, replace: bool = False
+) -> Type[ScenarioSource]:
+    """Register a source class under its ``name`` (usable as a decorator)."""
+    if not cls.name:
+        raise ValueError(f"source class {cls.__name__} needs a name")
+    if cls.Config is None:
+        raise ValueError(f"source {cls.name!r} declares no Config dataclass")
+    if not replace and cls.name in _SOURCES:
+        raise ValueError(f"scenario source {cls.name!r} already registered")
+    _SOURCES[cls.name] = cls
+    return cls
+
+
+def unregister_source(name: str) -> None:
+    _SOURCES.pop(name, None)
+
+
+def get_source(name: str) -> Type[ScenarioSource]:
+    try:
+        return _SOURCES[name]
+    except KeyError:
+        raise UnknownSourceError(
+            [
+                f"unknown scenario source {name!r}"
+                f"{suggest(name, list(_SOURCES))}; "
+                f"choose from {sorted(_SOURCES)}"
+            ]
+        ) from None
+
+
+def source_names() -> List[str]:
+    return sorted(_SOURCES)

@@ -1,0 +1,110 @@
+"""The ``calendar`` source: clock-time scheduled wakeups.
+
+Calendar and alarm-clock apps schedule by *wall clock* ("07:30 every
+day"), not by period — the pattern ``autosuspend`` handles with its ical
+wakeup check.  This source turns a list of ``"HH:MM"`` times of day into
+daily-recurring one-shot wakeup alarms over the scenario horizon, each
+registered a configurable lead ahead of its nominal time.
+
+Clock-scheduled wakeups are the worst case for similarity-based
+alignment: their windows are tiny (a reminder at 07:30 means 07:30), so
+they anchor batches other alarms must come to.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...core.alarm import Alarm, RepeatKind
+from ...core.hardware import SPEAKER_VIBRATOR_ONLY
+from ...core.units import MS_PER_HOUR, MS_PER_MINUTE
+from ..scenarios import Registration
+from .base import BuildContext, ScenarioSource, SourceBuild
+
+MS_PER_DAY = 24 * MS_PER_HOUR
+
+_TIME_RE = re.compile(r"^([01]?\d|2[0-3]):([0-5]\d)$")
+
+
+def parse_time_of_day(text: str) -> int:
+    """``"HH:MM"`` to milliseconds past local midnight (raises ValueError)."""
+    match = _TIME_RE.match(text)
+    if not match:
+        raise ValueError(f"not a HH:MM time of day: {text!r}")
+    return int(match.group(1)) * MS_PER_HOUR + int(match.group(2)) * MS_PER_MINUTE
+
+
+class CalendarSource(ScenarioSource):
+    """Daily-recurring wakeups at fixed times of day (ical-style)."""
+
+    name = "calendar"
+    description = "Daily wakeups at fixed HH:MM times (alarm clock / agenda)"
+
+    @dataclass(frozen=True)
+    class Config:
+        times: Tuple[str, ...] = ("07:30",)
+        app: str = "calendar"
+        window_s: int = 0
+        task_ms: int = 1_000
+        lead_ms: int = 60_000
+        start_of_day_ms: int = 0
+        wakeup: bool = True
+
+    field_docs = {
+        "times": "HH:MM times of day, repeated daily over the horizon",
+        "app": "app name; labels are '<app>@<HH:MM>#<day>'",
+        "window_s": "delivery window in seconds (0 = exact, the usual case)",
+        "task_ms": "notification task duration",
+        "lead_ms": "each occurrence is registered this long ahead",
+        "start_of_day_ms": "scenario time of the first local midnight",
+        "wakeup": "whether the alarms wake the device",
+    }
+
+    @classmethod
+    def validate_kwargs(cls, kwargs, where=""):
+        problems = super().validate_kwargs(kwargs, where=where)
+        prefix = f"{where}: " if where else ""
+        times = kwargs.get("times", ())
+        if isinstance(times, (list, tuple)):
+            for text in times:
+                if isinstance(text, str) and not _TIME_RE.match(text):
+                    problems.append(
+                        f"{prefix}times entry {text!r} is not HH:MM "
+                        "(e.g. '07:30', '22:05')"
+                    )
+        return problems
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        window = config.window_s * 1_000
+        registrations: List[Registration] = []
+        for text in config.times:
+            offset = parse_time_of_day(text)
+            day = 0
+            while True:
+                nominal = config.start_of_day_ms + day * MS_PER_DAY + offset
+                if nominal >= ctx.horizon:
+                    break
+                if nominal >= 0:
+                    alarm = Alarm(
+                        app=config.app,
+                        label=f"{config.app}@{text}#{day}",
+                        nominal_time=nominal,
+                        repeat_interval=0,
+                        window_length=window,
+                        grace_length=window,
+                        repeat_kind=RepeatKind.ONE_SHOT,
+                        wakeup=config.wakeup,
+                        hardware=SPEAKER_VIBRATOR_ONLY,
+                        task_duration=config.task_ms,
+                    )
+                    registrations.append(
+                        Registration(
+                            time=max(0, nominal - config.lead_ms), alarm=alarm
+                        )
+                    )
+                day += 1
+        registrations.sort(key=lambda registration: registration.time)
+        return SourceBuild(registrations=registrations)

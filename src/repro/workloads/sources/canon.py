@@ -1,0 +1,121 @@
+"""Canonical scenario configs for the historically named workloads.
+
+Every pre-registry named workload is expressed here as a declarative
+:class:`~repro.workloads.sources.spec.ScenarioSpec` whose compilation is
+byte-identical to the historical construction (the equivalence suite
+pins this).  ``build_light``/``build_heavy`` and the runner registry
+compile these; ``simty scenarios --canonical <name>`` exports them as
+config files to fork from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..diurnal import DiurnalConfig
+from ..scenarios import BackgroundLoad, ScenarioConfig
+from .base import ScenarioConfigError, suggest
+from .spec import ScenarioSpec, SourceUse
+
+_DEFAULT_SERVICES = BackgroundLoad().system_services
+
+
+def _table3_use(set_name: str, config: ScenarioConfig) -> SourceUse:
+    return SourceUse(
+        "table3-apps",
+        kwargs={
+            "set": set_name,
+            "beta": config.beta,
+            "install_window_ms": config.install_window_ms,
+            "phase_seed": config.phase_seed,
+        },
+    )
+
+
+def _background_use(config: ScenarioConfig) -> SourceUse:
+    background = config.background
+    kwargs = {
+        "include_system_services": background.include_system_services,
+        "oneshots_per_hour": background.oneshots_per_hour,
+        "oneshot_window_s": background.oneshot_window_s,
+        "oneshot_lead_s": background.oneshot_lead_s,
+        "oneshot_task_ms": background.oneshot_task_ms,
+        "nonwakeups_per_hour": background.nonwakeups_per_hour,
+        "seed": background.seed,
+        "beta": config.beta,
+    }
+    if tuple(background.system_services) != _DEFAULT_SERVICES:
+        kwargs["system_services"] = tuple(
+            tuple(entry) for entry in background.system_services
+        )
+    return SourceUse("background", kwargs=kwargs)
+
+
+def canonical_scenario(
+    name: str, config: Optional[ScenarioConfig] = None
+) -> ScenarioSpec:
+    """The canonical spec for a paper-era named workload.
+
+    ``config`` pins the knobs the legacy builders took; defaults are the
+    paper's.  Raises :class:`ScenarioConfigError` for unknown names.
+    """
+    config = config or ScenarioConfig()
+    if name in ("light", "heavy"):
+        return ScenarioSpec(
+            name=name,
+            horizon=config.horizon,
+            sources=(_table3_use(name, config), _background_use(config)),
+        )
+    if name == "synthetic":
+        return ScenarioSpec(
+            name="synthetic",
+            horizon=config.horizon,
+            sources=(SourceUse("synthetic", kwargs={"beta": config.beta}),),
+        )
+    if name in ("diurnal-light", "diurnal-heavy"):
+        return canonical_diurnal(heavy=name.endswith("heavy"))
+    raise ScenarioConfigError(
+        [
+            f"no canonical scenario named {name!r}"
+            f"{suggest(name, sorted(CANONICAL_SCENARIOS))}; "
+            f"choose from {sorted(CANONICAL_SCENARIOS)}"
+        ]
+    )
+
+
+def canonical_diurnal(
+    config: Optional[DiurnalConfig] = None, heavy: bool = True
+) -> ScenarioSpec:
+    """The canonical 24-hour diurnal spec (apps + background + sessions)."""
+    config = config or DiurnalConfig()
+    base = config.base
+    set_name = "heavy" if heavy else "light"
+    return ScenarioSpec(
+        name=f"diurnal-{set_name}",
+        horizon=config.horizon_ms,
+        sources=(
+            _table3_use(set_name, base),
+            _background_use(base),
+            SourceUse(
+                "interactive-sessions",
+                kwargs={
+                    "sessions": config.sessions_per_day,
+                    "day_span": tuple(config.day_span),
+                    "session_length_range_ms": tuple(
+                        config.session_length_range_ms
+                    ),
+                    "seed": config.seed,
+                },
+            ),
+        ),
+    )
+
+
+#: Zero-argument factories for every canonical named scenario.
+CANONICAL_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "light": lambda: canonical_scenario("light"),
+    "heavy": lambda: canonical_scenario("heavy"),
+    "synthetic": lambda: canonical_scenario("synthetic"),
+    "diurnal-light": lambda: canonical_diurnal(heavy=False),
+    "diurnal-heavy": lambda: canonical_diurnal(heavy=True),
+}

@@ -1,0 +1,107 @@
+"""The ``churn`` source: scripted mid-run cancel / re-register waves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..churn import app_update_wave, cancellation_storm
+from .base import BuildContext, ScenarioSource, SourceBuild, suggest
+
+PATTERNS = ("cancellation-storm", "app-update-wave")
+
+#: Label prefixes never churned implicitly: framework services and
+#: machine-generated one-shot streams are not "apps" a store updates.
+GENERATED_PREFIXES = ("sys:", "oneshot:", "nw:", "push:")
+
+
+class ChurnSource(ScenarioSource):
+    """Mid-run churn against alarms registered by *earlier* sources.
+
+    With no explicit ``labels``, targets every major (non-generated) label
+    the preceding sources registered — so ``table3-apps`` followed by a
+    ``churn`` source storms exactly the Table 3 apps.  Patterns are the
+    robustness suite's two: a cancellation storm or an app-update wave
+    (:mod:`repro.workloads.churn`).
+    """
+
+    name = "churn"
+    description = "Cancellation storm or app-update wave over earlier sources"
+
+    @dataclass(frozen=True)
+    class Config:
+        at_ms: int
+        pattern: str = "cancellation-storm"
+        labels: Tuple[str, ...] = ()
+        label_prefix: str = ""
+        count: Optional[int] = None
+        spread_ms: int = 0
+        spacing_ms: int = 0
+        nominal_offset: Optional[int] = None
+        seed: Optional[int] = None
+
+    field_docs = {
+        "at_ms": "when the churn wave starts",
+        "pattern": "'cancellation-storm' or 'app-update-wave'",
+        "labels": "explicit target labels; default: earlier sources' majors",
+        "label_prefix": "restrict implicit targets to labels with this prefix",
+        "count": "limit the number of targets (first N in label order)",
+        "spread_ms": "cancellation storm: seeded offsets in [0, spread_ms)",
+        "spacing_ms": "update wave: delay between consecutive updates",
+        "nominal_offset": "update wave: new nominal at time + offset",
+        "seed": "storm-offset RNG seed; default: derived from the scenario",
+    }
+
+    @classmethod
+    def validate_kwargs(cls, kwargs, where=""):
+        problems = super().validate_kwargs(kwargs, where=where)
+        pattern = kwargs.get("pattern", PATTERNS[0])
+        if isinstance(pattern, str) and pattern not in PATTERNS:
+            prefix = f"{where}: " if where else ""
+            problems.append(
+                f"{prefix}pattern {pattern!r} is not a churn pattern"
+                f"{suggest(pattern, PATTERNS)}; choose from {list(PATTERNS)}"
+            )
+        return problems
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        if config.labels:
+            labels = list(config.labels)
+        else:
+            labels = [
+                label
+                for label in ctx.labels_so_far()
+                if not label.startswith(GENERATED_PREFIXES)
+                and label.startswith(config.label_prefix)
+            ]
+        if config.count is not None:
+            labels = labels[: config.count]
+        if config.pattern == "cancellation-storm":
+            seed = (
+                config.seed
+                if config.seed is not None
+                else ctx.seed_for("storm")
+            )
+            directives = cancellation_storm(
+                labels,
+                config.at_ms,
+                spread_ms=config.spread_ms,
+                seed=seed,
+            )
+        else:
+            directives = app_update_wave(
+                labels,
+                config.at_ms,
+                spacing_ms=config.spacing_ms,
+                nominal_offset=config.nominal_offset,
+            )
+        # Seeded spread / update spacing can push individual directives
+        # past the scenario horizon, where they could never take effect
+        # and the engine refuses them outright — drop those, keep the rest.
+        directives = [
+            directive
+            for directive in directives
+            if directive.time < ctx.horizon
+        ]
+        return SourceBuild(directives=directives)

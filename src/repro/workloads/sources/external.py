@@ -1,0 +1,95 @@
+"""External-wake sources: ambient wakes and interactive sessions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...core.units import MS_PER_HOUR, MS_PER_MINUTE
+from ...simulator.external import ExternalWake, poisson_wakes
+from .base import BuildContext, ScenarioSource, SourceBuild
+
+
+class ExternalWakesSource(ScenarioSource):
+    """Ambient Poisson external wakes (modem pages, push pings, NFC taps).
+
+    Wraps :func:`~repro.simulator.external.poisson_wakes`: each wake
+    forces the device awake for ``hold_ms`` regardless of the alarm queue.
+    """
+
+    name = "external-wakes"
+    description = "Seeded Poisson external wake events with a hold time"
+
+    @dataclass(frozen=True)
+    class Config:
+        rate_per_hour: float = 2.0
+        hold_ms: int = 2_000
+        seed: Optional[int] = None
+
+    field_docs = {
+        "rate_per_hour": "mean external wake rate",
+        "hold_ms": "how long each wake keeps the device up",
+        "seed": "arrival RNG seed; default: derived from the scenario",
+    }
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        seed = (
+            config.seed if config.seed is not None else ctx.seed_for("wakes")
+        )
+        return SourceBuild(
+            externals=poisson_wakes(
+                rate_per_hour=config.rate_per_hour,
+                horizon=ctx.horizon,
+                hold_ms=config.hold_ms,
+                seed=seed,
+            )
+        )
+
+
+class InteractiveSessionsSource(ScenarioSource):
+    """Seeded screen-on sessions inside a waking-day span.
+
+    The diurnal scenario's session model
+    (:func:`~repro.workloads.diurnal.interactive_sessions`), replicated
+    draw-for-draw so the canonical diurnal configs replay the historical
+    builds byte-identically.
+    """
+
+    name = "interactive-sessions"
+    description = "Seeded screen-on sessions inside the waking-day span"
+
+    @dataclass(frozen=True)
+    class Config:
+        sessions: int = 40
+        day_span: Tuple[int, int] = (8, 23)
+        session_length_range_ms: Tuple[int, int] = (20_000, 300_000)
+        seed: Optional[int] = None
+
+    field_docs = {
+        "sessions": "number of screen-on sessions over the horizon",
+        "day_span": "(start, end) hours of the waking day",
+        "session_length_range_ms": "(low, high) session length draws",
+        "seed": "session RNG seed; default: derived from the scenario",
+    }
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        seed = (
+            config.seed if config.seed is not None else ctx.seed_for("sessions")
+        )
+        rng = random.Random(seed)
+        start_hour, end_hour = config.day_span
+        events: List[ExternalWake] = []
+        for _ in range(config.sessions):
+            start = rng.randrange(
+                start_hour * MS_PER_HOUR,
+                min(end_hour * MS_PER_HOUR, ctx.horizon - MS_PER_MINUTE),
+            )
+            hold = rng.randrange(*config.session_length_range_ms)
+            events.append(
+                ExternalWake(time=start, hold_ms=hold, description="screen-on")
+            )
+        events.sort(key=lambda event: event.time)
+        return SourceBuild(externals=events)

@@ -1,0 +1,75 @@
+"""The ``fault`` source: declarative workload pathologies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults import with_jitter, with_no_sleep_bug, with_storm
+from .base import BuildContext, ScenarioSource, SourceBuild, suggest
+
+KINDS = ("no-sleep", "jitter", "storm")
+
+
+class FaultSource(ScenarioSource):
+    """Inject one of the catalogued app pathologies into the composition.
+
+    Emits a whole-workload *transform* (the copy-on-write injectors of
+    :mod:`repro.workloads.faults`) applied after every source has
+    contributed, so the fault sees the fully composed workload — including
+    alarms registered by later sources.
+    """
+
+    name = "fault"
+    description = "No-sleep bug, nominal-time jitter or alarm storm for one app"
+
+    @dataclass(frozen=True)
+    class Config:
+        app: str
+        kind: str = "no-sleep"
+        hold_ms: int = 60_000
+        jitter_ms: int = 30_000
+        interval_divisor: int = 4
+        seed: Optional[int] = None
+
+    field_docs = {
+        "app": "the misbehaving app's name",
+        "kind": "'no-sleep', 'jitter' or 'storm'",
+        "hold_ms": "no-sleep: wakelock hold per task",
+        "jitter_ms": "jitter: maximum nominal-time shift",
+        "interval_divisor": "storm: repeating interval shrink factor",
+        "seed": "jitter RNG seed; default: derived from the scenario",
+    }
+
+    @classmethod
+    def validate_kwargs(cls, kwargs, where=""):
+        problems = super().validate_kwargs(kwargs, where=where)
+        kind = kwargs.get("kind", KINDS[0])
+        if isinstance(kind, str) and kind not in KINDS:
+            prefix = f"{where}: " if where else ""
+            problems.append(
+                f"{prefix}kind {kind!r} is not a fault kind"
+                f"{suggest(kind, KINDS)}; choose from {list(KINDS)}"
+            )
+        return problems
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        if config.kind == "no-sleep":
+            transform = lambda workload: with_no_sleep_bug(  # noqa: E731
+                workload, config.app, config.hold_ms
+            )
+        elif config.kind == "jitter":
+            seed = (
+                config.seed
+                if config.seed is not None
+                else ctx.seed_for("jitter", config.app)
+            )
+            transform = lambda workload: with_jitter(  # noqa: E731
+                workload, config.app, config.jitter_ms, seed=seed
+            )
+        else:
+            transform = lambda workload: with_storm(  # noqa: E731
+                workload, config.app, config.interval_divisor
+            )
+        return SourceBuild(transforms=[transform])

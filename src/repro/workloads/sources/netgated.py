@@ -1,0 +1,98 @@
+"""The ``network-gated`` source: wakeups that ride network activity.
+
+Well-behaved sync clients (and ``autosuspend``'s activity checks) gate
+their work on the network already being up: the radio wakes for traffic,
+and pending syncs piggyback on that window instead of waking the device
+themselves.  This source models it directly — seeded network-activity
+sessions become :class:`~repro.simulator.external.ExternalWake` events
+(the device is up anyway), and each session carries a burst of immediate
+one-shot sync alarms landing *inside* the session, so every policy
+delivers them while the device is awake for free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...core.alarm import Alarm, RepeatKind
+from ...core.hardware import WIFI_ONLY
+from ...simulator.external import ExternalWake
+from ..scenarios import Registration
+from .base import BuildContext, ScenarioSource, SourceBuild
+
+
+class NetworkGatedSource(ScenarioSource):
+    """Network-activity sessions plus syncs gated into them."""
+
+    name = "network-gated"
+    description = "Network-activity sessions with sync wakeups gated inside"
+
+    @dataclass(frozen=True)
+    class Config:
+        sessions_per_hour: float = 1.0
+        session_length_ms: Tuple[int, int] = (30_000, 180_000)
+        syncs_per_session: int = 3
+        sync_task_ms: int = 800
+        app: str = "netsync"
+        lead_ms: int = 1_000
+        seed: Optional[int] = None
+
+    field_docs = {
+        "sessions_per_hour": "mean rate of network-activity sessions",
+        "session_length_ms": "(low, high) session length draws",
+        "syncs_per_session": "sync alarms landing inside each session",
+        "sync_task_ms": "task duration of each gated sync",
+        "app": "app name; labels are '<app>:<session>:<sync>'",
+        "lead_ms": "syncs are registered this long before the session",
+        "seed": "session/sync RNG seed; default: derived from the scenario",
+    }
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        seed = (
+            config.seed
+            if config.seed is not None
+            else ctx.seed_for("net", config.app)
+        )
+        rng = random.Random(seed)
+        mean_interarrival_ms = 3_600_000.0 / max(config.sessions_per_hour, 1e-9)
+        low, high = config.session_length_ms
+        externals: List[ExternalWake] = []
+        registrations: List[Registration] = []
+        cursor = 0.0
+        session = 0
+        while True:
+            cursor += rng.expovariate(1.0 / mean_interarrival_ms)
+            start = int(cursor)
+            if start >= ctx.horizon:
+                break
+            length = rng.randint(low, high)
+            length = min(length, max(1, ctx.horizon - start))
+            externals.append(
+                ExternalWake(
+                    time=start, hold_ms=length, description="network-activity"
+                )
+            )
+            for sync in range(config.syncs_per_session):
+                at = start + rng.randrange(0, max(1, length))
+                alarm = Alarm(
+                    app=config.app,
+                    label=f"{config.app}:{session}:{sync}",
+                    nominal_time=at,
+                    repeat_interval=0,
+                    window_length=0,
+                    grace_length=0,
+                    repeat_kind=RepeatKind.ONE_SHOT,
+                    wakeup=True,
+                    hardware=WIFI_ONLY,
+                    hardware_known=True,
+                    task_duration=config.sync_task_ms,
+                )
+                registrations.append(
+                    Registration(time=max(0, start - config.lead_ms), alarm=alarm)
+                )
+            session += 1
+        registrations.sort(key=lambda registration: registration.time)
+        return SourceBuild(registrations=registrations, externals=externals)

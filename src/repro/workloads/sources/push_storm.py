@@ -1,0 +1,119 @@
+"""The ``push-storm`` source: Poisson bursts of unpostponable messages."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...core.alarm import Alarm, RepeatKind
+from ...core.hardware import (
+    ACCELEROMETER_ONLY,
+    EMPTY_HARDWARE,
+    SPEAKER_VIBRATOR_ONLY,
+    WIFI_ONLY,
+    WPS_ONLY,
+)
+from ..scenarios import Registration
+from .base import BuildContext, ScenarioSource, SourceBuild, suggest
+
+HARDWARE_BY_NAME = {
+    "none": EMPTY_HARDWARE,
+    "wifi": WIFI_ONLY,
+    "wps": WPS_ONLY,
+    "accelerometer": ACCELEROMETER_ONLY,
+    "speaker-vibrator": SPEAKER_VIBRATOR_ONLY,
+}
+
+
+class PushStormSource(ScenarioSource):
+    """A seeded Poisson stream of push-message deliveries.
+
+    Push arrivals are user-triggered content, so each becomes a one-shot,
+    **zero-window** wakeup alarm no policy may postpone (the footnote-1
+    GCM channel, as in :func:`~repro.workloads.push.convert_to_push`).
+    Bounding ``start_ms``/``duration_ms`` turns the stream into a storm —
+    a messaging burst landing mid-standby.
+    """
+
+    name = "push-storm"
+    description = "Poisson one-shot zero-window push messages (a GCM burst)"
+
+    @dataclass(frozen=True)
+    class Config:
+        app: str = "push"
+        rate_per_hour: float = 60.0
+        start_ms: int = 0
+        duration_ms: Optional[int] = None
+        task_ms: int = 300
+        lead_ms: int = 1_000
+        hardware: str = "wifi"
+        seed: Optional[int] = None
+
+    field_docs = {
+        "app": "app name carried by the messages (labels 'push:<app>:<i>')",
+        "rate_per_hour": "mean message arrival rate",
+        "start_ms": "burst start time",
+        "duration_ms": "burst length; default: to the end of the horizon",
+        "task_ms": "handler task duration per message",
+        "lead_ms": "each alarm is registered this long before its arrival",
+        "hardware": "components the handler wakelocks "
+        "(none/wifi/wps/accelerometer/speaker-vibrator)",
+        "seed": "arrival RNG seed; default: derived from the scenario",
+    }
+
+    @classmethod
+    def validate_kwargs(cls, kwargs, where=""):
+        problems = super().validate_kwargs(kwargs, where=where)
+        prefix = f"{where}: " if where else ""
+        hardware = kwargs.get("hardware", "wifi")
+        if isinstance(hardware, str) and hardware not in HARDWARE_BY_NAME:
+            problems.append(
+                f"{prefix}hardware {hardware!r} is not a known set"
+                f"{suggest(hardware, sorted(HARDWARE_BY_NAME))}; "
+                f"choose from {sorted(HARDWARE_BY_NAME)}"
+            )
+        rate = kwargs.get("rate_per_hour", 60.0)
+        if isinstance(rate, (int, float)) and rate <= 0:
+            problems.append(f"{prefix}rate_per_hour must be positive, got {rate}")
+        return problems
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        end = ctx.horizon
+        if config.duration_ms is not None:
+            end = min(end, config.start_ms + config.duration_ms)
+        seed = (
+            config.seed
+            if config.seed is not None
+            else ctx.seed_for("push", config.app)
+        )
+        rng = random.Random(seed)
+        hardware = HARDWARE_BY_NAME[config.hardware]
+        mean_interarrival_ms = 3_600_000.0 / config.rate_per_hour
+        registrations: List[Registration] = []
+        cursor = float(config.start_ms)
+        index = 0
+        while True:
+            cursor += rng.expovariate(1.0 / mean_interarrival_ms)
+            arrival = int(cursor)
+            if arrival >= end:
+                break
+            message = Alarm(
+                app=config.app,
+                label=f"push:{config.app}:{index}",
+                nominal_time=arrival,
+                repeat_interval=0,
+                window_length=0,
+                grace_length=0,
+                repeat_kind=RepeatKind.ONE_SHOT,
+                wakeup=True,
+                hardware=hardware,
+                hardware_known=True,
+                task_duration=config.task_ms,
+            )
+            registrations.append(
+                Registration(time=max(0, arrival - config.lead_ms), alarm=message)
+            )
+            index += 1
+        return SourceBuild(registrations=registrations)

@@ -1,0 +1,66 @@
+"""The ``table3-apps`` source: the paper's resident-app populations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps import PAPER_BETA, heavy_apps, light_apps
+from ..scenarios import ScenarioConfig, major_registrations
+from .base import BuildContext, ScenarioSource, SourceBuild, suggest
+
+APP_SETS = {
+    "light": light_apps,
+    "heavy": heavy_apps,
+}
+
+
+class Table3AppsSource(ScenarioSource):
+    """Register the major alarms of the paper's Table 3 app catalog.
+
+    ``set="light"`` is the 12-app Wi-Fi-only population, ``"heavy"`` all
+    18 apps.  Construction is delegated verbatim to
+    :func:`~repro.workloads.scenarios.major_registrations`, so a pinned
+    ``phase_seed`` replays the historical builds byte-identically.
+    """
+
+    name = "table3-apps"
+    description = "The paper's Table 3 resident apps (light or heavy set)"
+
+    @dataclass(frozen=True)
+    class Config:
+        set: str = "light"
+        beta: float = PAPER_BETA
+        install_window_ms: int = 600_000
+        phase_seed: Optional[int] = None
+
+    field_docs = {
+        "set": "app population: 'light' (12 Wi-Fi-only apps) or 'heavy' (all 18)",
+        "beta": "grace fraction applied to every major alarm (paper: 0.96)",
+        "install_window_ms": "seeded per-app phase offsets are drawn from [0, this)",
+        "phase_seed": "phase RNG seed; default: the run seed, else 1",
+    }
+
+    @classmethod
+    def validate_kwargs(cls, kwargs, where=""):
+        problems = super().validate_kwargs(kwargs, where=where)
+        chosen = kwargs.get("set", "light")
+        if isinstance(chosen, str) and chosen not in APP_SETS:
+            prefix = f"{where}: " if where else ""
+            problems.append(
+                f"{prefix}set {chosen!r} is not an app set"
+                f"{suggest(chosen, sorted(APP_SETS))}; "
+                f"choose from {sorted(APP_SETS)}"
+            )
+        return problems
+
+    def build(self, ctx: BuildContext) -> SourceBuild:
+        config = self.config
+        scenario = ScenarioConfig(
+            beta=config.beta,
+            horizon=ctx.horizon,
+            install_window_ms=config.install_window_ms,
+            phase_seed=ctx.effective_seed(config.phase_seed, 1),
+        )
+        apps = APP_SETS[config.set]()
+        return SourceBuild(registrations=major_registrations(apps, scenario))

@@ -30,7 +30,12 @@ class TestRunExperiment:
             "simty+dur",
             "bucket",
         }
-        assert set(WORKLOAD_BUILDERS) == {"light", "heavy", "synthetic"}
+        assert set(WORKLOAD_BUILDERS) == {
+            "light",
+            "heavy",
+            "synthetic",
+            "scenario",
+        }
 
     def test_registry_views_are_live(self):
         from repro.runner import DEFAULT_REGISTRY

@@ -28,6 +28,7 @@ class TestDefaultEntries:
         assert DEFAULT_REGISTRY.workload_names() == [
             "heavy",
             "light",
+            "scenario",
             "synthetic",
         ]
 

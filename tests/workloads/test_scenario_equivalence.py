@@ -1,0 +1,85 @@
+"""Compiled scenario configs replay the legacy builders byte-for-byte.
+
+``repro.workloads.scenarios._build`` is kept verbatim as the equivalence
+reference; every canonical scenario config must reproduce its output —
+same registration times, same labels, same alarm parameters, in the same
+order.  The diurnal and synthetic generators get the same treatment.
+"""
+
+import pytest
+
+from repro.workloads.apps import heavy_apps, light_apps
+from repro.workloads.diurnal import DiurnalConfig, build_diurnal
+from repro.workloads.scenarios import ScenarioConfig, _build
+from repro.workloads.sources import (
+    canonical_diurnal,
+    canonical_scenario,
+    compile_scenario,
+)
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+APP_SETS = {"light": light_apps, "heavy": heavy_apps}
+
+
+def signature(workload):
+    """An alarm-id-free fingerprint (ids come from a process-global counter)."""
+    return [
+        (
+            registration.time,
+            registration.alarm.label,
+            registration.alarm.app,
+            registration.alarm.nominal_time,
+            registration.alarm.repeat_interval,
+            registration.alarm.window_length,
+            registration.alarm.grace_length,
+            registration.alarm.repeat_kind,
+            registration.alarm.wakeup,
+            tuple(sorted(component.name for component in registration.alarm.hardware)),
+            registration.alarm.task_duration,
+        )
+        for registration in workload.registrations
+    ]
+
+
+class TestCanonicalEquivalence:
+    @pytest.mark.parametrize("name", ["light", "heavy"])
+    def test_default_config(self, name):
+        legacy = _build(name, APP_SETS[name](), ScenarioConfig())
+        compiled = compile_scenario(canonical_scenario(name))
+        assert compiled.name == legacy.name
+        assert compiled.horizon == legacy.horizon
+        assert signature(compiled) == signature(legacy)
+
+    @pytest.mark.parametrize("name", ["light", "heavy"])
+    def test_non_default_config(self, name):
+        config = ScenarioConfig(
+            beta=0.85, horizon=7_200_000, install_window_ms=120_000, phase_seed=9
+        )
+        legacy = _build(name, APP_SETS[name](), config)
+        compiled = compile_scenario(canonical_scenario(name, config))
+        assert compiled.horizon == legacy.horizon
+        assert signature(compiled) == signature(legacy)
+
+    def test_synthetic_matches_generator(self):
+        legacy = generate(SyntheticConfig(), seed=5)
+        compiled = compile_scenario(canonical_scenario("synthetic"), seed=5)
+        assert signature(compiled) == signature(legacy)
+
+    @pytest.mark.parametrize("heavy", [False, True])
+    def test_diurnal_matches_builder(self, heavy):
+        config = DiurnalConfig()
+        legacy_workload, legacy_events = build_diurnal(config, heavy=heavy)
+        compiled = compile_scenario(canonical_diurnal(config, heavy=heavy))
+        assert signature(compiled) == signature(legacy_workload)
+        assert [
+            (event.time, event.hold_ms) for event in compiled.externals
+        ] == [(event.time, event.hold_ms) for event in legacy_events]
+
+    def test_diurnal_canonical_names(self):
+        for name, heavy in (("diurnal-light", False), ("diurnal-heavy", True)):
+            compiled = compile_scenario(canonical_scenario(name))
+            legacy_workload, legacy_events = build_diurnal(
+                DiurnalConfig(), heavy=heavy
+            )
+            assert signature(compiled) == signature(legacy_workload)
+            assert len(compiled.externals) == len(legacy_events)

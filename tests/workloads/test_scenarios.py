@@ -2,7 +2,7 @@
 
 from repro.core.alarm import RepeatKind
 from repro.workloads.scenarios import (
-    BackgroundConfig,
+    BackgroundLoad,
     ScenarioConfig,
     background_registrations,
     build_heavy,
@@ -68,7 +68,7 @@ class TestBackground:
         system = [
             r for r in registrations if r.alarm.label.startswith("sys:")
         ]
-        assert len(system) == len(BackgroundConfig().system_services)
+        assert len(system) == len(BackgroundLoad().system_services)
         assert all(r.alarm.repeat_kind is RepeatKind.STATIC for r in system)
 
     def test_system_services_are_cpu_only(self):
@@ -79,7 +79,7 @@ class TestBackground:
 
     def test_oneshot_counts_scale_with_rate(self):
         config = ScenarioConfig(
-            background=BackgroundConfig(
+            background=BackgroundLoad(
                 oneshots_per_hour=40.0, nonwakeups_per_hour=0.0
             )
         )
@@ -105,7 +105,7 @@ class TestBackground:
 
     def test_background_disabled(self):
         config = ScenarioConfig(
-            background=BackgroundConfig(
+            background=BackgroundLoad(
                 include_system_services=False,
                 oneshots_per_hour=0.0,
                 nonwakeups_per_hour=0.0,
